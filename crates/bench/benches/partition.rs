@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks: the setup-phase partitioner (real compute,
+//! not simulated time).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stencil_core::Partition;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    g.sample_size(30);
+    for (name, nodes, gpus) in [("1n6g", 1usize, 6usize), ("256n6g", 256, 6), ("4096n8g", 4096, 8)] {
+        g.bench_function(format!("new/{name}"), |b| {
+            b.iter(|| Partition::new(black_box([8653, 8653, 8653]), black_box(nodes), black_box(gpus)))
+        });
+    }
+    // Geometry queries used on hot setup paths.
+    let p = Partition::new([8653, 8653, 8653], 256, 6);
+    g.bench_function("all_boxes/256n6g", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (n, gp) in p.all_subdomains() {
+                acc += p.gpu_box(n, gp).volume();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

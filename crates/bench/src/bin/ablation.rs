@@ -1,0 +1,76 @@
+//! Ablation beyond the paper's figures: placement x specialization grid,
+//! plus the QAP-solver comparison (exhaustive vs greedy+2-opt), isolating
+//! each design choice's contribution on the Fig. 11 worst-case domain.
+
+use stencil_bench::{bench_args, fmt_ms, measure_exchange, tiers, ExchangeConfig};
+use stencil_core::dim3::Neighborhood;
+use stencil_core::{placement, qap, Partition, PlacementStrategy, Radius};
+use topo::summit::summit_node;
+use topo::NodeDiscovery;
+
+fn main() {
+    let (_, iters) = bench_args(1);
+    let domain = [1440u64, 1452, 700];
+    println!("Ablation — placement x specialization on {}x{}x{} (1 node, 6 ranks)", domain[0], domain[1], domain[2]);
+    println!("--------------------------------------------------------------------------");
+    println!("{:<12} | {:>12} {:>12} {:>12} {:>12}", "placement", "+remote", "+colo", "+peer", "+kernel");
+    for (pname, p) in [
+        ("node-aware", PlacementStrategy::NodeAware),
+        ("trivial", PlacementStrategy::Trivial),
+    ] {
+        let mut row = Vec::new();
+        for (_, m) in tiers() {
+            let cfg = ExchangeConfig::new(1, 6, 0).domain(domain).methods(m).placement(p).iters(iters);
+            row.push(measure_exchange(&cfg).mean);
+        }
+        println!(
+            "{:<12} | {} {} {} {}",
+            pname, fmt_ms(row[0]), fmt_ms(row[1]), fmt_ms(row[2]), fmt_ms(row[3])
+        );
+    }
+    println!();
+
+    // Paper §VI, after [3]: "fewer, larger MPI messages tend to achieve
+    // better performance, but our messages may already be few enough and
+    // large enough." Test the conjecture: consolidate staged messages per
+    // (subdomain, destination rank) at several scales.
+    println!("Message consolidation (staged transfers grouped per subdomain+rank):");
+    println!("{:>6} | {:>12} {:>12} | ratio", "nodes", "plain", "consolidated");
+    for nodes in [2usize, 8, 32] {
+        let extent = stencil_bench::weak_scaling_extent(750, nodes * 6);
+        let plain = measure_exchange(
+            &ExchangeConfig::new(nodes, 6, extent).methods(stencil_core::Methods::all()).iters(iters),
+        )
+        .mean;
+        let grouped = measure_exchange(
+            &ExchangeConfig::new(nodes, 6, extent)
+                .methods(stencil_core::Methods::all())
+                .consolidate(true)
+                .iters(iters),
+        )
+        .mean;
+        println!(
+            "{:>6} | {} {} | {:.3}x",
+            nodes,
+            fmt_ms(plain),
+            fmt_ms(grouped),
+            plain / grouped
+        );
+    }
+    println!();
+
+    println!("QAP solver comparison on the same instance:");
+    let part = Partition::new(domain, 1, 6);
+    let disc = NodeDiscovery::discover(&summit_node());
+    let w = placement::flow_matrix(&part, [0, 0, 0], Neighborhood::Full26, &Radius::constant(2), 4, 4);
+    let d = disc.distance_matrix();
+    let t0 = std::time::Instant::now();
+    let (fe, ce) = qap::solve_exhaustive(&w, &d);
+    let te = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let (fh, ch) = qap::solve_greedy_2opt(&w, &d);
+    let th = t0.elapsed();
+    println!("  exhaustive:  cost {ce:.4e}  assignment {fe:?}  ({te:?})");
+    println!("  greedy+2opt: cost {ch:.4e}  assignment {fh:?}  ({th:?})");
+    println!("  heuristic gap: {:.2}%", (ch / ce - 1.0) * 100.0);
+}

@@ -1,0 +1,36 @@
+//! Fig. 12b: weak scaling *without* CUDA-aware MPI — exchange time for
+//! ~750³ points per GPU as the job grows to 256 nodes (1536 GPUs), per
+//! specialization tier.
+//!
+//! Paper claims: time flattens once most nodes have 26 distinct neighbors
+//! (~32 nodes); at 256 nodes specialization gives ~1.16x over Staged-only.
+
+use stencil_bench::{bench_args, fmt_ms, measure_exchange, tiers, weak_scaling_extent, ExchangeConfig};
+
+fn main() {
+    let (max_nodes, iters) = bench_args(256);
+    println!("Fig. 12b — weak scaling, no CUDA-aware MPI (750^3/GPU, 6 ranks x 6 GPUs per node)");
+    println!("-----------------------------------------------------------------------------------");
+    println!("{:>6} {:>8} | {:>12} {:>12} {:>12} {:>12} | speedup", "nodes", "extent", "+remote", "+colo", "+peer", "+kernel");
+    let mut last = (0.0, 0.0);
+    for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        if nodes > max_nodes {
+            break;
+        }
+        let extent = weak_scaling_extent(750, nodes * 6);
+        let mut row = Vec::new();
+        for (_, m) in tiers() {
+            let cfg = ExchangeConfig::new(nodes, 6, extent).methods(m).iters(iters);
+            row.push(measure_exchange(&cfg).mean);
+        }
+        println!(
+            "{:>6} {:>8} | {} {} {} {} |  {:.2}x",
+            nodes, extent,
+            fmt_ms(row[0]), fmt_ms(row[1]), fmt_ms(row[2]), fmt_ms(row[3]),
+            row[0] / row[3]
+        );
+        last = (row[0], row[3]);
+    }
+    println!();
+    println!("  specialization speedup at largest scale: {:.2}x  (paper: 1.16x at 256 nodes)", last.0 / last.1);
+}

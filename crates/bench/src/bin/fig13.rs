@@ -1,0 +1,38 @@
+//! Fig. 13: strong scaling — a fixed 1363³ domain (the largest with four
+//! SP quantities that fits in one node) distributed over 1..256 nodes.
+//!
+//! Paper claims: exchange time drops from 1 to 128 nodes; capability
+//! specialization stops improving things past ~32 nodes; strong scaling
+//! stalls at 256 nodes as subdomains become tiny.
+
+use stencil_bench::{bench_args, fmt_ms, measure_exchange, tiers, ExchangeConfig};
+
+fn main() {
+    let (max_nodes, iters) = bench_args(256);
+    let extent = 1363u64;
+    println!("Fig. 13 — strong scaling of a {extent}^3 domain (4 SP quantities, 6r/6g per node)");
+    println!("----------------------------------------------------------------------------------");
+    println!("{:>6} | {:>12} {:>12} {:>12} {:>12}", "nodes", "+remote", "+colo", "+peer", "+kernel");
+    let mut series = Vec::new();
+    for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        if nodes > max_nodes {
+            break;
+        }
+        let mut row = Vec::new();
+        for (_, m) in tiers() {
+            let cfg = ExchangeConfig::new(nodes, 6, extent).methods(m).iters(iters);
+            row.push(measure_exchange(&cfg).mean);
+        }
+        println!(
+            "{:>6} | {} {} {} {}",
+            nodes, fmt_ms(row[0]), fmt_ms(row[1]), fmt_ms(row[2]), fmt_ms(row[3])
+        );
+        series.push((nodes, row[3]));
+    }
+    println!();
+    if series.len() >= 2 {
+        let (n0, t0) = series[0];
+        let (nl, tl) = *series.last().unwrap();
+        println!("  exchange time {} @ {} node(s) -> {} @ {} nodes", fmt_ms(t0), n0, fmt_ms(tl), nl);
+    }
+}

@@ -1,0 +1,269 @@
+//! Shared measurement harness for the paper-reproduction benchmarks.
+//!
+//! Timing follows the paper's protocol (§IV-A): in each rank,
+//! `MPI_Barrier`, record `MPI_Wtime`, run the exchange, record the end
+//! time; the maximum across ranks is the reported exchange time. Exchange
+//! times are averaged over a configurable number of repetitions.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use gpusim::DataMode;
+use mpisim::{run_world, WorldConfig};
+use parking_lot::Mutex;
+use stencil_core::{DomainBuilder, Methods, Neighborhood, PlacementStrategy};
+use topo::summit::summit_cluster;
+
+/// One benchmark configuration, encoded like the paper's labels
+/// ("Xn/Xr/Xg/NNNN/ca").
+#[derive(Clone, Debug)]
+pub struct ExchangeConfig {
+    /// Nodes.
+    pub nodes: usize,
+    /// Ranks per node.
+    pub ranks_per_node: usize,
+    /// Cube extent per dimension (the paper's NNNN).
+    pub extent: u64,
+    /// Explicit non-cube domain (overrides `extent` when set).
+    pub domain: Option<[u64; 3]>,
+    /// Enabled exchange methods.
+    pub methods: Methods,
+    /// CUDA-aware MPI available.
+    pub cuda_aware: bool,
+    /// Stencil radius.
+    pub radius: u64,
+    /// Quantities (paper: 4 single-precision).
+    pub quantities: usize,
+    /// Placement strategy.
+    pub placement: PlacementStrategy,
+    /// Measured repetitions (paper: 30; the simulation is deterministic so
+    /// fewer suffice).
+    pub iters: usize,
+    /// Consolidate staged messages (paper §VI extension).
+    pub consolidate: bool,
+}
+
+impl ExchangeConfig {
+    /// A paper-style configuration: cube domain, radius 2, four SP
+    /// quantities, node-aware placement.
+    pub fn new(nodes: usize, ranks_per_node: usize, extent: u64) -> Self {
+        ExchangeConfig {
+            nodes,
+            ranks_per_node,
+            extent,
+            domain: None,
+            methods: Methods::all(),
+            cuda_aware: false,
+            radius: 2,
+            quantities: 4,
+            placement: PlacementStrategy::NodeAware,
+            iters: 3,
+            consolidate: false,
+        }
+    }
+
+    /// Set enabled methods.
+    pub fn methods(mut self, m: Methods) -> Self {
+        self.methods = m;
+        self
+    }
+
+    /// Enable CUDA-aware MPI.
+    pub fn cuda_aware(mut self, on: bool) -> Self {
+        self.cuda_aware = on;
+        self
+    }
+
+    /// Use an explicit (non-cube) domain.
+    pub fn domain(mut self, d: [u64; 3]) -> Self {
+        self.domain = Some(d);
+        self
+    }
+
+    /// Set the placement strategy.
+    pub fn placement(mut self, p: PlacementStrategy) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Set the number of repetitions.
+    pub fn iters(mut self, n: usize) -> Self {
+        self.iters = n;
+        self
+    }
+
+    /// Enable staged-message consolidation.
+    pub fn consolidate(mut self, on: bool) -> Self {
+        self.consolidate = on;
+        self
+    }
+
+    /// The paper's label string, e.g. `"2n/6r/6g/750/ca"`.
+    pub fn label(&self) -> String {
+        let base = match self.domain {
+            Some(d) => format!(
+                "{}n/{}r/6g/{}x{}x{}",
+                self.nodes, self.ranks_per_node, d[0], d[1], d[2]
+            ),
+            None => format!("{}n/{}r/6g/{}", self.nodes, self.ranks_per_node, self.extent),
+        };
+        if self.cuda_aware {
+            format!("{base}/ca")
+        } else {
+            base
+        }
+    }
+}
+
+/// Result of one measured configuration.
+#[derive(Clone, Debug)]
+pub struct ExchangeResult {
+    /// Per-iteration max-across-ranks exchange seconds.
+    pub per_iter: Vec<f64>,
+    /// Average of `per_iter`.
+    pub mean: f64,
+    /// Human-readable plan summary from rank 0.
+    pub plan: String,
+}
+
+/// Measure halo-exchange time for a configuration, following the paper's
+/// timing protocol. Runs in virtual data mode (no real bytes) so that
+/// paper-scale domains fit.
+pub fn measure_exchange(cfg: &ExchangeConfig) -> ExchangeResult {
+    let domain = cfg.domain.unwrap_or([cfg.extent, cfg.extent, cfg.extent]);
+    let num_ranks = cfg.nodes * cfg.ranks_per_node;
+    let times: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(vec![Vec::new(); num_ranks]));
+    let plan_out: Arc<Mutex<String>> = Arc::new(Mutex::new(String::new()));
+    let t2 = Arc::clone(&times);
+    let p2 = Arc::clone(&plan_out);
+    let methods = cfg.methods;
+    let cuda_aware = cfg.cuda_aware;
+    let radius = cfg.radius;
+    let quantities = cfg.quantities;
+    let placement = cfg.placement;
+    let iters = cfg.iters;
+    let consolidate = cfg.consolidate;
+    let world = WorldConfig::new(summit_cluster(cfg.nodes), cfg.ranks_per_node)
+        .cuda_aware(cuda_aware)
+        .data_mode(DataMode::Virtual);
+    run_world(world, move |ctx| {
+        let dom = DomainBuilder::new(domain)
+            .radius(radius)
+            .quantities(quantities)
+            .neighborhood(Neighborhood::Full26)
+            .methods(methods)
+            .placement(placement)
+            .consolidate(consolidate)
+            .build(ctx);
+        if ctx.rank() == 0 {
+            *p2.lock() = dom.plan_summary().to_string();
+        }
+        let mut mine = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            ctx.barrier();
+            let t0 = ctx.wtime();
+            dom.exchange(ctx);
+            mine.push(ctx.wtime() - t0);
+        }
+        t2.lock()[ctx.rank()] = mine;
+    });
+    let per_rank = times.lock().clone();
+    let per_iter: Vec<f64> = (0..cfg.iters)
+        .map(|i| per_rank.iter().map(|r| r[i]).fold(0.0f64, f64::max))
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let plan = plan_out.lock().clone();
+    ExchangeResult {
+        per_iter,
+        mean,
+        plan,
+    }
+}
+
+/// The paper's weak-scaling domain size rule (§IV-D): total volume close to
+/// 750³ per GPU while keeping the overall domain a cube —
+/// `round(750 * nGPUs^(1/3))`.
+pub fn weak_scaling_extent(per_gpu: u64, n_gpus: usize) -> u64 {
+    (per_gpu as f64 * (n_gpus as f64).cbrt()).round() as u64
+}
+
+/// Format a seconds value for tables.
+pub fn fmt_ms(s: f64) -> String {
+    format!("{:9.3} ms", s * 1e3)
+}
+
+/// Parse shared benchmark CLI flags: `--max-nodes N` caps scaling sweeps,
+/// `--iters N` sets repetitions. Returns `(max_nodes, iters)`.
+pub fn bench_args(default_max_nodes: usize) -> (usize, usize) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut max_nodes = default_max_nodes;
+    let mut iters = 2;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-nodes" => {
+                max_nodes = args[i + 1].parse().expect("--max-nodes N");
+                i += 2;
+            }
+            "--iters" => {
+                iters = args[i + 1].parse().expect("--iters N");
+                i += 2;
+            }
+            other => panic!("unknown flag {other} (expected --max-nodes N / --iters N)"),
+        }
+    }
+    (max_nodes, iters)
+}
+
+/// The method tiers of the paper's Fig. 12, without CUDA-aware MPI.
+pub fn tiers() -> Vec<(&'static str, stencil_core::Methods)> {
+    use stencil_core::Methods;
+    vec![
+        ("+remote", Methods::staged_only()),
+        ("+colo", Methods::staged_only().with_colocated()),
+        ("+peer", Methods::staged_only().with_colocated().with_peer()),
+        ("+kernel", Methods::all()),
+    ]
+}
+
+/// The CUDA-aware tiers of Fig. 12.
+pub fn tiers_cuda_aware() -> Vec<(&'static str, stencil_core::Methods)> {
+    use stencil_core::Methods;
+    vec![
+        ("+remote/ca", Methods::cuda_aware_only()),
+        ("+colo/ca", Methods::cuda_aware_only().with_colocated()),
+        ("+peer/ca", Methods::cuda_aware_only().with_colocated().with_peer()),
+        ("+kernel/ca", Methods::all_with_cuda_aware()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_scaling_extent_matches_formula() {
+        assert_eq!(weak_scaling_extent(750, 1), 750);
+        assert_eq!(
+            weak_scaling_extent(750, 6),
+            (750f64 * 6f64.cbrt()).round() as u64
+        );
+    }
+
+    #[test]
+    fn labels_follow_paper_format() {
+        let c = ExchangeConfig::new(2, 6, 945).cuda_aware(true);
+        assert_eq!(c.label(), "2n/6r/6g/945/ca");
+        let c2 = ExchangeConfig::new(1, 1, 0).domain([1440, 1452, 700]);
+        assert_eq!(c2.label(), "1n/1r/6g/1440x1452x700");
+    }
+
+    #[test]
+    fn small_measurement_runs() {
+        let r = measure_exchange(&ExchangeConfig::new(1, 1, 96).iters(2));
+        assert_eq!(r.per_iter.len(), 2);
+        assert!(r.mean > 0.0);
+        assert!(!r.plan.is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Small 3D index/extent/direction types used throughout the library.
+//!
+//! Convention: component 0 is `x` (fastest-varying in memory), component 2
+//! is `z` (slowest).
+
+/// An extent or coordinate in grid cells.
+pub type Dim3 = [u64; 3];
+
+/// A 3D index into a decomposition grid (node index, GPU index).
+pub type Idx3 = [usize; 3];
+
+/// A halo-exchange direction: each component in `{-1, 0, 1}`, not all zero.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Dir3(pub [i8; 3]);
+
+impl Dir3 {
+    /// Construct; panics on invalid components or the zero direction.
+    pub fn new(x: i8, y: i8, z: i8) -> Dir3 {
+        assert!(
+            (-1..=1).contains(&x) && (-1..=1).contains(&y) && (-1..=1).contains(&z),
+            "direction components must be in -1..=1"
+        );
+        assert!(!(x == 0 && y == 0 && z == 0), "zero direction");
+        Dir3([x, y, z])
+    }
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Dir3 {
+        Dir3([-self.0[0], -self.0[1], -self.0[2]])
+    }
+
+    /// Number of nonzero components (1 = face, 2 = edge, 3 = corner).
+    pub fn order(self) -> usize {
+        self.0.iter().filter(|&&c| c != 0).count()
+    }
+
+    /// Dense index in `0..26` (the 27 lattice directions minus the center),
+    /// stable across runs — used for message tags.
+    pub fn index(self) -> usize {
+        let raw =
+            (self.0[2] + 1) as usize * 9 + (self.0[1] + 1) as usize * 3 + (self.0[0] + 1) as usize;
+        // raw 13 is the zero direction, which cannot occur.
+        if raw < 13 {
+            raw
+        } else {
+            raw - 1
+        }
+    }
+}
+
+/// Which neighbors a stencil exchanges with (paper Fig. 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Neighborhood {
+    /// Axis-aligned stencils: 6 face neighbors (Fig. 1a).
+    Faces6,
+    /// Stencils with in-plane diagonals: faces + 12 edges (Fig. 1b).
+    FacesEdges18,
+    /// Full compact stencils: faces + edges + 8 corners.
+    #[default]
+    Full26,
+}
+
+impl Neighborhood {
+    /// All exchange directions for this neighborhood, in a fixed order.
+    pub fn directions(self) -> Vec<Dir3> {
+        let max_order = match self {
+            Neighborhood::Faces6 => 1,
+            Neighborhood::FacesEdges18 => 2,
+            Neighborhood::Full26 => 3,
+        };
+        let mut out = Vec::new();
+        for z in -1i8..=1 {
+            for y in -1i8..=1 {
+                for x in -1i8..=1 {
+                    if x == 0 && y == 0 && z == 0 {
+                        continue;
+                    }
+                    let d = Dir3([x, y, z]);
+                    if d.order() <= max_order {
+                        out.push(d);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of neighbors.
+    pub fn count(self) -> usize {
+        match self {
+            Neighborhood::Faces6 => 6,
+            Neighborhood::FacesEdges18 => 18,
+            Neighborhood::Full26 => 26,
+        }
+    }
+}
+
+/// Boundary condition of the global domain (paper §I: the evaluation uses
+/// periodic boundaries; the techniques apply to other types — this is that
+/// generalization).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Boundary {
+    /// Opposite faces are adjacent; every subdomain has a neighbor in every
+    /// direction.
+    #[default]
+    Periodic,
+    /// The domain ends at its faces: subdomains on the boundary simply have
+    /// no neighbor in outward directions, and their outward halos are left
+    /// untouched by exchanges (for the application to fill with its own
+    /// boundary condition).
+    Open,
+}
+
+/// An axis-aligned box of grid cells: `origin` inclusive, `extent` cells per
+/// axis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Box3 {
+    /// First cell of the box (global coordinates).
+    pub origin: Dim3,
+    /// Cells per axis.
+    pub extent: Dim3,
+}
+
+impl Box3 {
+    /// Cell count.
+    pub fn volume(&self) -> u64 {
+        self.extent[0] * self.extent[1] * self.extent[2]
+    }
+
+    /// Surface area in cells (sum of face areas, each face counted once).
+    pub fn surface(&self) -> u64 {
+        let [x, y, z] = self.extent;
+        2 * (x * y + y * z + x * z)
+    }
+
+    /// Whether `p` lies inside.
+    pub fn contains(&self, p: Dim3) -> bool {
+        (0..3).all(|a| p[a] >= self.origin[a] && p[a] < self.origin[a] + self.extent[a])
+    }
+
+    /// Exclusive upper corner.
+    pub fn end(&self) -> Dim3 {
+        [
+            self.origin[0] + self.extent[0],
+            self.origin[1] + self.extent[1],
+            self.origin[2] + self.extent[2],
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn direction_orders() {
+        assert_eq!(Dir3::new(1, 0, 0).order(), 1);
+        assert_eq!(Dir3::new(1, -1, 0).order(), 2);
+        assert_eq!(Dir3::new(1, 1, 1).order(), 3);
+    }
+
+    #[test]
+    fn opposite_round_trips() {
+        for d in Neighborhood::Full26.directions() {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn neighborhood_counts() {
+        for n in [
+            Neighborhood::Faces6,
+            Neighborhood::FacesEdges18,
+            Neighborhood::Full26,
+        ] {
+            assert_eq!(n.directions().len(), n.count());
+        }
+    }
+
+    #[test]
+    fn direction_indices_unique_and_dense() {
+        let idx: HashSet<usize> = Neighborhood::Full26
+            .directions()
+            .into_iter()
+            .map(|d| d.index())
+            .collect();
+        assert_eq!(idx.len(), 26);
+        assert!(idx.iter().all(|&i| i < 26));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero direction")]
+    fn zero_direction_rejected() {
+        Dir3::new(0, 0, 0);
+    }
+
+    #[test]
+    fn box_math() {
+        let b = Box3 {
+            origin: [1, 2, 3],
+            extent: [4, 5, 6],
+        };
+        assert_eq!(b.volume(), 120);
+        assert_eq!(b.surface(), 2 * (20 + 30 + 24));
+        assert!(b.contains([1, 2, 3]));
+        assert!(b.contains([4, 6, 8]));
+        assert!(!b.contains([5, 6, 8]));
+        assert_eq!(b.end(), [5, 7, 9]);
+    }
+}

@@ -1,0 +1,1111 @@
+//! The halo-exchange engine: per-pair communication plans built at setup
+//! (phase 3, §III-C) and the asynchronous execution with Sender/Receiver
+//! state machines (§III-D).
+//!
+//! Pure-CUDA methods (`Kernel`, `PeerMemcpy`, `ColocatedMemcpy` on the
+//! sending side) are enqueued on streams up front and simply complete.
+//! Methods mixing CUDA and MPI (`Staged`, `CudaAwareMpi`, plus the
+//! receiving side of `ColocatedMemcpy`) are driven by small state machines
+//! polled in a loop, so every transfer's phases overlap with everything
+//! else — exactly the paper's Fig. 9 structure.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use detsim::{Completion, Kernel};
+use gpusim::{Buffer, Stream, Work};
+use mpisim::{RankCtx, Request};
+use parking_lot::Mutex;
+
+use crate::dim3::Dim3;
+use crate::domain::DistributedDomain;
+use crate::method::{select, Method, PairCaps};
+use crate::region::{self, Region};
+use crate::stats::PlanSummary;
+
+/// A shared one-slot-per-exchange channel carrying "your data has landed"
+/// completions from a colocated sender to its receiver — the simulation
+/// analogue of the `cudaIpc` event handles real colocated exchange shares
+/// at setup so that no MPI happens during exchanges.
+#[derive(Clone)]
+pub struct Mailbox(Arc<Mutex<MailboxState>>);
+
+#[derive(Default)]
+struct MailboxState {
+    items: VecDeque<Completion>,
+    waiters: VecDeque<Completion>,
+}
+
+impl Mailbox {
+    fn new() -> Mailbox {
+        Mailbox(Arc::new(Mutex::new(MailboxState::default())))
+    }
+
+    fn put(&self, k: &mut Kernel, c: Completion) {
+        let mut st = self.0.lock();
+        st.items.push_back(c);
+        // Complete *every* queued waiter: pollers may abandon a waiter
+        // without ever blocking on it (wait_any returns early when another
+        // completion is already done), so completing only the oldest could
+        // signal a dead waiter and strand the live one.
+        let waiters = std::mem::take(&mut st.waiters);
+        drop(st);
+        for w in waiters {
+            k.complete(&w);
+        }
+    }
+
+    /// Take a landed-data completion, or a completion to wait on before
+    /// retrying.
+    fn try_take(&self, k: &mut Kernel) -> Result<Completion, Completion> {
+        let mut st = self.0.lock();
+        match st.items.pop_front() {
+            Some(c) => Ok(c),
+            None => {
+                let w = k.completion();
+                st.waiters.push_back(w.clone());
+                Err(w)
+            }
+        }
+    }
+}
+
+/// Setup payload a colocated receiver sends its sender: the IPC handle of
+/// its receive buffer and the event mailbox.
+struct ColoShare {
+    handle: gpusim::IpcMemHandle,
+    mailbox: Mailbox,
+}
+
+/// One outgoing transfer (this rank's subdomain → a neighbor).
+pub(crate) struct SendPlan {
+    pub method: Method,
+    pub stream: Stream,
+    pub dst_rank: usize,
+    pub tag: u64,
+    pub bytes: u64,
+    pub arrays: Vec<Buffer>,
+    pub dims: Dim3,
+    pub elem: usize,
+    pub src_region: Region,
+    /// `Kernel` method: the destination halo region in the *same* array.
+    pub self_dst_region: Region,
+    pub pack_buf: Option<Buffer>,
+    pub host_buf: Option<Buffer>,
+    /// `ColocatedMemcpy`: the receiver's buffer, IPC-opened at setup.
+    pub remote_buf: Option<Buffer>,
+    /// `ColocatedMemcpy`: landed-data notification channel.
+    pub mailbox: Option<Mailbox>,
+    /// `PeerMemcpy`: index of the matching receive plan in this rank.
+    pub peer_recv: Option<usize>,
+}
+
+/// One segment of a consolidated message: the pack/unpack geometry for one
+/// original direction within the combined buffer.
+pub(crate) struct Segment {
+    pub arrays: Vec<Buffer>,
+    pub dims: Dim3,
+    pub elem: usize,
+    pub region: Region,
+    /// Byte offset of this segment inside the combined message.
+    pub offset: u64,
+    pub bytes: u64,
+    /// Receive side: the per-segment device staging buffer.
+    pub dev_buf: Option<Buffer>,
+    /// Receive side: stream on the segment's destination device.
+    pub stream: Option<Stream>,
+}
+
+/// Several staged transfers from one subdomain to one rank, consolidated
+/// into a single message (paper §VI: "fewer, larger MPI messages tend to
+/// achieve better performance").
+pub(crate) struct GroupedSendPlan {
+    pub stream: Stream,
+    pub dst_rank: usize,
+    pub tag: u64,
+    pub bytes: u64,
+    pub segments: Vec<Segment>,
+    pub pack_buf: Buffer,
+    pub host_buf: Buffer,
+}
+
+/// Receive side of a consolidated message: one `Irecv`, then per-segment
+/// H2D + unpack fan-out (segments may land on different GPUs of this rank).
+pub(crate) struct GroupedRecvPlan {
+    pub src_rank: usize,
+    pub tag: u64,
+    pub bytes: u64,
+    pub segments: Vec<Segment>,
+    pub host_buf: Buffer,
+}
+
+/// One incoming transfer (a neighbor → this rank's subdomain).
+pub(crate) struct RecvPlan {
+    pub method: Method,
+    pub stream: Stream,
+    pub src_rank: usize,
+    pub tag: u64,
+    pub bytes: u64,
+    pub arrays: Vec<Buffer>,
+    pub dims: Dim3,
+    pub elem: usize,
+    pub dst_region: Region,
+    pub recv_dev_buf: Option<Buffer>,
+    pub host_buf: Option<Buffer>,
+    pub mailbox: Option<Mailbox>,
+}
+
+fn make_pack_work(arrays: Vec<Buffer>, dims: Dim3, elem: usize, reg: Region, out: Buffer) -> Work {
+    Box::new(move || {
+        if !out.has_data() {
+            return;
+        }
+        let mut off = 0usize;
+        for a in &arrays {
+            a.with_data(|src| {
+                out.with_data(|dst| {
+                    off += region::pack(src, dims, elem, reg, dst, off);
+                })
+            });
+        }
+    })
+}
+
+fn make_unpack_work(
+    arrays: Vec<Buffer>,
+    dims: Dim3,
+    elem: usize,
+    reg: Region,
+    inp: Buffer,
+) -> Work {
+    Box::new(move || {
+        if !inp.has_data() {
+            return;
+        }
+        let mut off = 0usize;
+        for a in &arrays {
+            inp.with_data(|src| {
+                a.with_data(|dst| {
+                    off += region::unpack(src, off, dst, dims, elem, reg);
+                })
+            });
+        }
+    })
+}
+
+fn make_group_pack_work(segments: &[Segment], out: Buffer) -> Work {
+    let segs: Vec<(Vec<Buffer>, Dim3, usize, Region, u64)> = segments
+        .iter()
+        .map(|s| (s.arrays.clone(), s.dims, s.elem, s.region, s.offset))
+        .collect();
+    Box::new(move || {
+        if !out.has_data() {
+            return;
+        }
+        for (arrays, dims, elem, reg, base) in &segs {
+            let mut off = *base as usize;
+            for a in arrays {
+                a.with_data(|src| {
+                    out.with_data(|dst| {
+                        off += region::pack(src, *dims, *elem, *reg, dst, off);
+                    })
+                });
+            }
+        }
+    })
+}
+
+fn make_self_exchange_work(
+    arrays: Vec<Buffer>,
+    dims: Dim3,
+    elem: usize,
+    from: Region,
+    to: Region,
+) -> Work {
+    Box::new(move || {
+        for a in &arrays {
+            if !a.has_data() {
+                return;
+            }
+            a.with_data(|arr| region::copy_region(arr, dims, elem, from, to));
+        }
+    })
+}
+
+/// Build the specialized communication plan for this rank (setup phase 3).
+/// Collective: performs the colocated IPC handshake and ends with a
+/// barrier.
+pub(crate) fn build_plans(
+    ctx: &RankCtx,
+    dom_part: &crate::partition::Partition,
+    placements: &[crate::placement::Placement],
+    locals: &[crate::local::LocalDomain],
+    spec: &crate::domain::DomainSpec,
+) -> (
+    Vec<SendPlan>,
+    Vec<RecvPlan>,
+    Vec<GroupedSendPlan>,
+    Vec<GroupedRecvPlan>,
+    PlanSummary,
+) {
+    let machine = ctx.machine().clone();
+    let rpn = ctx.ranks_per_node();
+    let gpr = machine.gpus_per_node() / rpn;
+    let my_rank = ctx.rank();
+
+    let device_of = |n: crate::dim3::Idx3, g: crate::dim3::Idx3| -> usize {
+        let node = dom_part.node_linear(n);
+        let s = dom_part.gpu_linear(g);
+        let local_gpu = placements[node].gpu_for_subdomain[s];
+        machine.device_at(node, local_gpu)
+    };
+    let rank_of_device =
+        |d: usize| -> usize { machine.node_of(d) * rpn + machine.local_of(d) / gpr };
+
+    let dirs = spec.neighborhood.directions();
+    let mut sends = Vec::new();
+    let mut recvs = Vec::new();
+    let mut summary = PlanSummary::default();
+
+    for local in locals {
+        let ext = local.interior.extent;
+        let sid = dom_part.subdomain_id(local.node_idx, local.gpu_idx) as u64;
+        for &d in &dirs {
+            // ---- outgoing: local sends toward d (None on an open edge) ---
+            if let Some((nn, gg)) =
+                dom_part.neighbor_bc(local.node_idx, local.gpu_idx, d, spec.boundary)
+            {
+                let dst_dev = device_of(nn, gg);
+                let dst_rank = rank_of_device(dst_dev);
+                let e = spec.radius.halo_extent(ext, d);
+                let bytes = e[0] * e[1] * e[2] * spec.quantities as u64 * spec.elem_size as u64;
+                if bytes > 0 {
+                    let caps = PairCaps {
+                        same_device: dst_dev == local.device,
+                        same_rank: dst_rank == my_rank,
+                        same_node: machine.node_of(dst_dev) == machine.node_of(local.device),
+                        peer_access: machine.can_access_peer(local.device, dst_dev)
+                            || dst_dev == local.device,
+                        cuda_aware: ctx.cuda_aware(),
+                    };
+                    let method = select(spec.methods, caps);
+                    if matches!(method, Method::PeerMemcpy | Method::ColocatedMemcpy)
+                        && dst_dev != local.device
+                    {
+                        machine
+                            .enable_peer_access(local.device, dst_dev)
+                            .expect("peer access checked in caps");
+                    }
+                    let stream = ctx
+                        .sim()
+                        .with_kernel(|k| machine.create_stream(k, local.device));
+                    let pack_buf = (method != Method::Kernel).then(|| {
+                        machine
+                            .alloc_device_untimed(local.device, bytes)
+                            .expect("pack buffer")
+                    });
+                    let host_buf = (method == Method::Staged).then(|| {
+                        machine.alloc_host_untimed(
+                            machine.node_of(local.device),
+                            machine
+                                .fabric()
+                                .node_spec()
+                                .gpu_socket(machine.local_of(local.device)),
+                            bytes,
+                        )
+                    });
+                    summary.record(method, bytes);
+                    sends.push(SendPlan {
+                        method,
+                        stream,
+                        dst_rank,
+                        tag: sid * 32 + d.index() as u64,
+                        bytes,
+                        arrays: local.arrays.clone(),
+                        dims: local.dims,
+                        elem: spec.elem_size,
+                        src_region: region::src_region(ext, &spec.radius, d),
+                        self_dst_region: region::dst_region(ext, &spec.radius, d),
+                        pack_buf,
+                        host_buf,
+                        remote_buf: None,
+                        mailbox: None,
+                        peer_recv: None,
+                    });
+                }
+            }
+
+            // ---- incoming: neighbor at -d sends toward d to local --------
+            let Some((sn, sg)) =
+                dom_part.neighbor_bc(local.node_idx, local.gpu_idx, d.opposite(), spec.boundary)
+            else {
+                continue; // open boundary: outward halo stays untouched
+            };
+            let src_dev = device_of(sn, sg);
+            let src_rank = rank_of_device(src_dev);
+            let src_ext = dom_part.gpu_box(sn, sg).extent;
+            let se = spec.radius.halo_extent(src_ext, d);
+            let rbytes = se[0] * se[1] * se[2] * spec.quantities as u64 * spec.elem_size as u64;
+            if rbytes > 0 {
+                let dst_reg = region::dst_region(ext, &spec.radius, d);
+                debug_assert_eq!(
+                    dst_reg.volume() * spec.quantities as u64 * spec.elem_size as u64,
+                    rbytes,
+                    "sender/receiver disagree on message size"
+                );
+                let caps = PairCaps {
+                    same_device: src_dev == local.device,
+                    same_rank: src_rank == my_rank,
+                    same_node: machine.node_of(src_dev) == machine.node_of(local.device),
+                    peer_access: machine.can_access_peer(src_dev, local.device)
+                        || src_dev == local.device,
+                    cuda_aware: ctx.cuda_aware(),
+                };
+                let method = select(spec.methods, caps);
+                let src_sid = dom_part.subdomain_id(sn, sg) as u64;
+                let stream = ctx
+                    .sim()
+                    .with_kernel(|k| machine.create_stream(k, local.device));
+                let recv_dev_buf = (method != Method::Kernel).then(|| {
+                    machine
+                        .alloc_device_untimed(local.device, rbytes)
+                        .expect("recv buffer")
+                });
+                let host_buf = (method == Method::Staged).then(|| {
+                    machine.alloc_host_untimed(
+                        machine.node_of(local.device),
+                        machine
+                            .fabric()
+                            .node_spec()
+                            .gpu_socket(machine.local_of(local.device)),
+                        rbytes,
+                    )
+                });
+                let mailbox = (method == Method::ColocatedMemcpy).then(Mailbox::new);
+                recvs.push(RecvPlan {
+                    method,
+                    stream,
+                    src_rank,
+                    tag: src_sid * 32 + d.index() as u64,
+                    bytes: rbytes,
+                    arrays: local.arrays.clone(),
+                    dims: local.dims,
+                    elem: spec.elem_size,
+                    dst_region: dst_reg,
+                    recv_dev_buf,
+                    host_buf,
+                    mailbox,
+                });
+            }
+        }
+    }
+
+    // Link each peer send to its same-rank receive plan.
+    for sp in &mut sends {
+        if sp.method == Method::PeerMemcpy {
+            let idx = recvs
+                .iter()
+                .position(|rp| rp.tag == sp.tag && rp.method == Method::PeerMemcpy)
+                .expect("peer send without matching local receive plan");
+            sp.peer_recv = Some(idx);
+        }
+    }
+
+    // Colocated IPC handshake: receivers share (handle, mailbox), senders
+    // open the handle. One-time, during setup — no MPI during exchanges.
+    for rp in &recvs {
+        if rp.method == Method::ColocatedMemcpy {
+            ctx.send_obj(
+                rp.src_rank,
+                rp.tag,
+                ColoShare {
+                    handle: ctx
+                        .machine()
+                        .ipc_get_handle(rp.recv_dev_buf.as_ref().unwrap()),
+                    mailbox: rp.mailbox.clone().unwrap(),
+                },
+            );
+        }
+    }
+    for sp in &mut sends {
+        if sp.method == Method::ColocatedMemcpy {
+            let share: ColoShare = ctx.recv_obj(sp.dst_rank, sp.tag);
+            sp.remote_buf = Some(ctx.machine().ipc_open(ctx.sim(), &share.handle));
+            sp.mailbox = Some(share.mailbox);
+        }
+    }
+    // Optional consolidation (paper §VI): merge every set of >1 staged
+    // transfers sharing (source subdomain, destination rank) into a single
+    // message. Both sides compute the same groups from the same partition
+    // and method-selection math, ordered by tag, so offsets agree without
+    // extra handshaking.
+    let mut grouped_sends: Vec<GroupedSendPlan> = Vec::new();
+    let mut grouped_recvs: Vec<GroupedRecvPlan> = Vec::new();
+    if spec.consolidate {
+        use std::collections::BTreeMap;
+        // --- sends: group staged by (src subdomain, dst rank) -------------
+        let mut keep = Vec::new();
+        let mut groups: BTreeMap<(u64, usize), Vec<SendPlan>> = BTreeMap::new();
+        for sp in sends {
+            if sp.method == Method::Staged {
+                groups.entry((sp.tag / 32, sp.dst_rank)).or_default().push(sp);
+            } else {
+                keep.push(sp);
+            }
+        }
+        for ((sid, dst_rank), mut members) in groups {
+            if members.len() == 1 {
+                keep.push(members.pop().unwrap());
+                continue;
+            }
+            members.sort_by_key(|p| p.tag);
+            // all members originate on one source device
+            let device = machine.stream_device(members[0].stream);
+            let total: u64 = members.iter().map(|p| p.bytes).sum();
+            let pack_buf = machine
+                .alloc_device_untimed(device, total)
+                .expect("consolidated pack buffer");
+            let host_buf = machine.alloc_host_untimed(
+                machine.node_of(device),
+                machine.fabric().node_spec().gpu_socket(machine.local_of(device)),
+                total,
+            );
+            let mut off = 0;
+            let segments: Vec<Segment> = members
+                .iter()
+                .map(|p| {
+                    let seg = Segment {
+                        arrays: p.arrays.clone(),
+                        dims: p.dims,
+                        elem: p.elem,
+                        region: p.src_region,
+                        offset: off,
+                        bytes: p.bytes,
+                        dev_buf: None,
+                        stream: None,
+                    };
+                    off += p.bytes;
+                    seg
+                })
+                .collect();
+            grouped_sends.push(GroupedSendPlan {
+                stream: members[0].stream,
+                dst_rank,
+                tag: sid * 32 + 26, // reserved "consolidated" direction slot
+                bytes: total,
+                segments,
+                pack_buf,
+                host_buf,
+            });
+        }
+        sends = keep;
+        // --- receives: the mirror grouping by (src subdomain, src rank) ---
+        let mut keep = Vec::new();
+        let mut groups: BTreeMap<(u64, usize), Vec<RecvPlan>> = BTreeMap::new();
+        for rp in recvs {
+            if rp.method == Method::Staged {
+                groups.entry((rp.tag / 32, rp.src_rank)).or_default().push(rp);
+            } else {
+                keep.push(rp);
+            }
+        }
+        for ((sid, src_rank), mut members) in groups {
+            if members.len() == 1 {
+                keep.push(members.pop().unwrap());
+                continue;
+            }
+            members.sort_by_key(|p| p.tag);
+            let total: u64 = members.iter().map(|p| p.bytes).sum();
+            // the host landing buffer lives on the first segment's socket
+            let dev0 = machine.stream_device(members[0].stream);
+            let host_buf = machine.alloc_host_untimed(
+                machine.node_of(dev0),
+                machine.fabric().node_spec().gpu_socket(machine.local_of(dev0)),
+                total,
+            );
+            let mut off = 0;
+            let segments: Vec<Segment> = members
+                .iter()
+                .map(|p| {
+                    let seg = Segment {
+                        arrays: p.arrays.clone(),
+                        dims: p.dims,
+                        elem: p.elem,
+                        region: p.dst_region,
+                        offset: off,
+                        bytes: p.bytes,
+                        dev_buf: p.recv_dev_buf.clone(),
+                        stream: Some(p.stream),
+                    };
+                    off += p.bytes;
+                    seg
+                })
+                .collect();
+            grouped_recvs.push(GroupedRecvPlan {
+                src_rank,
+                tag: sid * 32 + 26,
+                bytes: total,
+                segments,
+                host_buf,
+            });
+        }
+        recvs = keep;
+    }
+    ctx.barrier();
+    (sends, recvs, grouped_sends, grouped_recvs, summary)
+}
+
+/// A state machine driving one CUDA+MPI transfer through its phases.
+enum Machine {
+    StagedSend {
+        plan: usize,
+        staged_ev: Completion,
+        req: Option<Request>,
+    },
+    StagedRecv {
+        plan: usize,
+        req: Request,
+        unpack_ev: Option<Completion>,
+    },
+    CaSend {
+        plan: usize,
+        pack_ev: Completion,
+        req: Option<Request>,
+    },
+    CaRecv {
+        plan: usize,
+        req: Request,
+        unpack_ev: Option<Completion>,
+    },
+    ColoRecv {
+        plan: usize,
+        arrival: Option<Completion>,
+        unpack_ev: Option<Completion>,
+    },
+    GroupedSend {
+        plan: usize,
+        staged_ev: Completion,
+        req: Option<Request>,
+    },
+    GroupedRecv {
+        plan: usize,
+        req: Request,
+        unpack_all: Option<Completion>,
+    },
+}
+
+impl Machine {
+    fn method(&self) -> Method {
+        match self {
+            Machine::StagedSend { .. } | Machine::StagedRecv { .. } => Method::Staged,
+            Machine::CaSend { .. } | Machine::CaRecv { .. } => Method::CudaAwareMpi,
+            Machine::ColoRecv { .. } => Method::ColocatedMemcpy,
+            Machine::GroupedSend { .. } | Machine::GroupedRecv { .. } => Method::Staged,
+        }
+    }
+}
+
+enum Poll {
+    Done,
+    Blocked(Completion),
+}
+
+/// An in-flight exchange started by
+/// [`DistributedDomain::exchange_start`]; finish it with
+/// [`DistributedDomain::exchange_finish`]. Compute on subdomain interiors
+/// may proceed (on compute streams) between the two calls.
+pub struct ExchangeHandle {
+    machines: Vec<Machine>,
+    pending: Vec<(Method, Completion)>,
+    started: detsim::SimTime,
+}
+
+/// Virtual-time breakdown of one exchange: when the last transfer of each
+/// method completed, relative to the exchange start (paper Fig. 9's
+/// question — "what is the critical path made of?" — as numbers).
+#[derive(Clone, Debug, Default)]
+pub struct ExchangeTiming {
+    /// Start-to-last-completion of the whole exchange.
+    pub total: detsim::SimDuration,
+    /// Per method: time from exchange start until its last transfer
+    /// (including unpack) was observed complete.
+    pub per_method: std::collections::BTreeMap<Method, detsim::SimDuration>,
+}
+
+impl DistributedDomain {
+    /// Issue one full halo exchange asynchronously. Pure-CUDA transfers are
+    /// enqueued; CUDA+MPI transfers are set up as state machines. Returns a
+    /// handle to finish with.
+    pub fn exchange_start(&self, ctx: &RankCtx) -> ExchangeHandle {
+        let m = ctx.machine().clone();
+        let started = ctx.sim().now();
+        let mut machines = Vec::new();
+        let mut pending: Vec<(Method, Completion)> = Vec::new();
+
+        // Receivers first: post all MPI receives before anyone sends.
+        for (i, gp) in self.grouped_recv_plans.iter().enumerate() {
+            let req = ctx.irecv(&gp.host_buf, 0, gp.bytes, gp.src_rank, gp.tag);
+            machines.push(Machine::GroupedRecv {
+                plan: i,
+                req,
+                unpack_all: None,
+            });
+        }
+        for (i, rp) in self.recv_plans.iter().enumerate() {
+            match rp.method {
+                Method::Staged => {
+                    let req = ctx.irecv(
+                        rp.host_buf.as_ref().unwrap(),
+                        0,
+                        rp.bytes,
+                        rp.src_rank,
+                        rp.tag,
+                    );
+                    machines.push(Machine::StagedRecv {
+                        plan: i,
+                        req,
+                        unpack_ev: None,
+                    });
+                }
+                Method::CudaAwareMpi => {
+                    let req = ctx.irecv(
+                        rp.recv_dev_buf.as_ref().unwrap(),
+                        0,
+                        rp.bytes,
+                        rp.src_rank,
+                        rp.tag,
+                    );
+                    machines.push(Machine::CaRecv {
+                        plan: i,
+                        req,
+                        unpack_ev: None,
+                    });
+                }
+                Method::ColocatedMemcpy => {
+                    machines.push(Machine::ColoRecv {
+                        plan: i,
+                        arrival: None,
+                        unpack_ev: None,
+                    });
+                }
+                // Kernel and Peer receives are driven by the sender (same rank).
+                Method::Kernel | Method::PeerMemcpy => {}
+            }
+        }
+
+        for (si, sp) in self.send_plans.iter().enumerate() {
+            match sp.method {
+                Method::Kernel => {
+                    let work = make_self_exchange_work(
+                        sp.arrays.clone(),
+                        sp.dims,
+                        sp.elem,
+                        sp.src_region,
+                        sp.self_dst_region,
+                    );
+                    let done = m.launch_kernel(
+                        ctx.sim(),
+                        sp.stream,
+                        "self-exchange",
+                        sp.bytes,
+                        Some(work),
+                    );
+                    pending.push((Method::Kernel, done));
+                }
+                Method::PeerMemcpy => {
+                    let rp = &self.recv_plans[sp.peer_recv.expect("linked at setup")];
+                    let pack_buf = sp.pack_buf.as_ref().unwrap();
+                    let recv_buf = rp.recv_dev_buf.as_ref().unwrap();
+                    let pack = make_pack_work(
+                        sp.arrays.clone(),
+                        sp.dims,
+                        sp.elem,
+                        sp.src_region,
+                        pack_buf.clone(),
+                    );
+                    m.launch_kernel(ctx.sim(), sp.stream, "pack", sp.bytes, Some(pack));
+                    m.memcpy_async(ctx.sim(), sp.stream, recv_buf, 0, pack_buf, 0, sp.bytes);
+                    let ev = m.record_event(ctx.sim(), sp.stream);
+                    m.stream_wait_event(ctx.sim(), rp.stream, &ev);
+                    let unpack = make_unpack_work(
+                        rp.arrays.clone(),
+                        rp.dims,
+                        rp.elem,
+                        rp.dst_region,
+                        recv_buf.clone(),
+                    );
+                    let done =
+                        m.launch_kernel(ctx.sim(), rp.stream, "unpack", rp.bytes, Some(unpack));
+                    pending.push((Method::PeerMemcpy, done));
+                }
+                Method::ColocatedMemcpy => {
+                    let pack_buf = sp.pack_buf.as_ref().unwrap();
+                    let remote = sp.remote_buf.as_ref().expect("IPC handshake done at setup");
+                    let pack = make_pack_work(
+                        sp.arrays.clone(),
+                        sp.dims,
+                        sp.elem,
+                        sp.src_region,
+                        pack_buf.clone(),
+                    );
+                    m.launch_kernel(ctx.sim(), sp.stream, "pack", sp.bytes, Some(pack));
+                    let copied =
+                        m.memcpy_async(ctx.sim(), sp.stream, remote, 0, pack_buf, 0, sp.bytes);
+                    let mailbox = sp.mailbox.clone().unwrap();
+                    let c2 = copied.clone();
+                    ctx.sim().with_kernel(move |k| {
+                        let c3 = c2.clone();
+                        k.on_complete(&c2.clone(), move |k| mailbox.put(k, c3));
+                    });
+                    pending.push((Method::ColocatedMemcpy, copied));
+                }
+                Method::CudaAwareMpi => {
+                    let pack_buf = sp.pack_buf.as_ref().unwrap();
+                    let pack = make_pack_work(
+                        sp.arrays.clone(),
+                        sp.dims,
+                        sp.elem,
+                        sp.src_region,
+                        pack_buf.clone(),
+                    );
+                    m.launch_kernel(ctx.sim(), sp.stream, "pack", sp.bytes, Some(pack));
+                    let pack_ev = m.record_event(ctx.sim(), sp.stream);
+                    machines.push(Machine::CaSend {
+                        plan: si,
+                        pack_ev,
+                        req: None,
+                    });
+                }
+                Method::Staged => {
+                    let pack_buf = sp.pack_buf.as_ref().unwrap();
+                    let host_buf = sp.host_buf.as_ref().unwrap();
+                    let pack = make_pack_work(
+                        sp.arrays.clone(),
+                        sp.dims,
+                        sp.elem,
+                        sp.src_region,
+                        pack_buf.clone(),
+                    );
+                    m.launch_kernel(ctx.sim(), sp.stream, "pack", sp.bytes, Some(pack));
+                    m.memcpy_async(ctx.sim(), sp.stream, host_buf, 0, pack_buf, 0, sp.bytes);
+                    let staged_ev = m.record_event(ctx.sim(), sp.stream);
+                    machines.push(Machine::StagedSend {
+                        plan: si,
+                        staged_ev,
+                        req: None,
+                    });
+                }
+            }
+        }
+        // Consolidated sends: one combined pack kernel, one D2H, then the
+        // state machine posts the single Isend when staging completes.
+        for (i, gp) in self.grouped_send_plans.iter().enumerate() {
+            let pack = make_group_pack_work(&gp.segments, gp.pack_buf.clone());
+            m.launch_kernel(ctx.sim(), gp.stream, "pack-group", gp.bytes, Some(pack));
+            m.memcpy_async(ctx.sim(), gp.stream, &gp.host_buf, 0, &gp.pack_buf, 0, gp.bytes);
+            let staged_ev = m.record_event(ctx.sim(), gp.stream);
+            machines.push(Machine::GroupedSend {
+                plan: i,
+                staged_ev,
+                req: None,
+            });
+        }
+        ExchangeHandle {
+            machines,
+            pending,
+            started,
+        }
+    }
+
+    fn poll_machine(&self, ctx: &RankCtx, mach: &mut Machine) -> Poll {
+        let m = ctx.machine().clone();
+        match mach {
+            Machine::StagedSend {
+                plan,
+                staged_ev,
+                req,
+            } => {
+                let sp = &self.send_plans[*plan];
+                if req.is_none() {
+                    if !staged_ev.is_done() {
+                        return Poll::Blocked(staged_ev.clone());
+                    }
+                    *req = Some(ctx.isend(
+                        sp.host_buf.as_ref().unwrap(),
+                        0,
+                        sp.bytes,
+                        sp.dst_rank,
+                        sp.tag,
+                    ));
+                }
+                let r = req.as_ref().unwrap();
+                if r.is_done() {
+                    Poll::Done
+                } else {
+                    Poll::Blocked(r.completion().clone())
+                }
+            }
+            Machine::StagedRecv {
+                plan,
+                req,
+                unpack_ev,
+            } => {
+                let rp = &self.recv_plans[*plan];
+                if unpack_ev.is_none() {
+                    if !req.is_done() {
+                        return Poll::Blocked(req.completion().clone());
+                    }
+                    let dev = rp.recv_dev_buf.as_ref().unwrap();
+                    m.memcpy_async(
+                        ctx.sim(),
+                        rp.stream,
+                        dev,
+                        0,
+                        rp.host_buf.as_ref().unwrap(),
+                        0,
+                        rp.bytes,
+                    );
+                    let unpack = make_unpack_work(
+                        rp.arrays.clone(),
+                        rp.dims,
+                        rp.elem,
+                        rp.dst_region,
+                        dev.clone(),
+                    );
+                    *unpack_ev = Some(m.launch_kernel(
+                        ctx.sim(),
+                        rp.stream,
+                        "unpack",
+                        rp.bytes,
+                        Some(unpack),
+                    ));
+                }
+                let ev = unpack_ev.as_ref().unwrap();
+                if ev.is_done() {
+                    Poll::Done
+                } else {
+                    Poll::Blocked(ev.clone())
+                }
+            }
+            Machine::CaSend { plan, pack_ev, req } => {
+                let sp = &self.send_plans[*plan];
+                if req.is_none() {
+                    if !pack_ev.is_done() {
+                        return Poll::Blocked(pack_ev.clone());
+                    }
+                    *req = Some(ctx.isend(
+                        sp.pack_buf.as_ref().unwrap(),
+                        0,
+                        sp.bytes,
+                        sp.dst_rank,
+                        sp.tag,
+                    ));
+                }
+                let r = req.as_ref().unwrap();
+                if r.is_done() {
+                    Poll::Done
+                } else {
+                    Poll::Blocked(r.completion().clone())
+                }
+            }
+            Machine::CaRecv {
+                plan,
+                req,
+                unpack_ev,
+            } => {
+                let rp = &self.recv_plans[*plan];
+                if unpack_ev.is_none() {
+                    if !req.is_done() {
+                        return Poll::Blocked(req.completion().clone());
+                    }
+                    let dev = rp.recv_dev_buf.as_ref().unwrap();
+                    let unpack = make_unpack_work(
+                        rp.arrays.clone(),
+                        rp.dims,
+                        rp.elem,
+                        rp.dst_region,
+                        dev.clone(),
+                    );
+                    *unpack_ev = Some(m.launch_kernel(
+                        ctx.sim(),
+                        rp.stream,
+                        "unpack",
+                        rp.bytes,
+                        Some(unpack),
+                    ));
+                }
+                let ev = unpack_ev.as_ref().unwrap();
+                if ev.is_done() {
+                    Poll::Done
+                } else {
+                    Poll::Blocked(ev.clone())
+                }
+            }
+            Machine::GroupedSend {
+                plan,
+                staged_ev,
+                req,
+            } => {
+                let gp = &self.grouped_send_plans[*plan];
+                if req.is_none() {
+                    if !staged_ev.is_done() {
+                        return Poll::Blocked(staged_ev.clone());
+                    }
+                    *req = Some(ctx.isend(&gp.host_buf, 0, gp.bytes, gp.dst_rank, gp.tag));
+                }
+                let r = req.as_ref().unwrap();
+                if r.is_done() {
+                    Poll::Done
+                } else {
+                    Poll::Blocked(r.completion().clone())
+                }
+            }
+            Machine::GroupedRecv {
+                plan,
+                req,
+                unpack_all,
+            } => {
+                let gp = &self.grouped_recv_plans[*plan];
+                if unpack_all.is_none() {
+                    if !req.is_done() {
+                        return Poll::Blocked(req.completion().clone());
+                    }
+                    // Fan the combined buffer out: per segment, H2D to its
+                    // device then unpack on its stream. Segments on
+                    // different devices proceed in parallel.
+                    let mut evs = Vec::with_capacity(gp.segments.len());
+                    for seg in &gp.segments {
+                        let stream = seg.stream.expect("recv segment stream");
+                        let dev = seg.dev_buf.as_ref().expect("recv segment buffer");
+                        m.memcpy_async(ctx.sim(), stream, dev, 0, &gp.host_buf, seg.offset, seg.bytes);
+                        let unpack = make_unpack_work(
+                            seg.arrays.clone(),
+                            seg.dims,
+                            seg.elem,
+                            seg.region,
+                            dev.clone(),
+                        );
+                        evs.push(m.launch_kernel(ctx.sim(), stream, "unpack", seg.bytes, Some(unpack)));
+                    }
+                    *unpack_all = Some(ctx.sim().with_kernel(|k| k.completion_all(&evs)));
+                }
+                let ev = unpack_all.as_ref().unwrap();
+                if ev.is_done() {
+                    Poll::Done
+                } else {
+                    Poll::Blocked(ev.clone())
+                }
+            }
+            Machine::ColoRecv {
+                plan,
+                arrival,
+                unpack_ev,
+            } => {
+                let rp = &self.recv_plans[*plan];
+                if unpack_ev.is_none() {
+                    // Reuse a cached arrival waiter across polls so that at
+                    // most one waiter per machine is ever outstanding.
+                    if let Some(a) = arrival.as_ref() {
+                        if !a.is_done() {
+                            return Poll::Blocked(a.clone());
+                        }
+                        *arrival = None;
+                    }
+                    let mailbox = rp.mailbox.as_ref().unwrap();
+                    let copied = match ctx.sim().with_kernel(|k| mailbox.try_take(k)) {
+                        Ok(c) => c,
+                        Err(waiter) => {
+                            *arrival = Some(waiter.clone());
+                            return Poll::Blocked(waiter);
+                        }
+                    };
+                    m.stream_wait_event(ctx.sim(), rp.stream, &copied);
+                    let dev = rp.recv_dev_buf.as_ref().unwrap();
+                    let unpack = make_unpack_work(
+                        rp.arrays.clone(),
+                        rp.dims,
+                        rp.elem,
+                        rp.dst_region,
+                        dev.clone(),
+                    );
+                    *unpack_ev = Some(m.launch_kernel(
+                        ctx.sim(),
+                        rp.stream,
+                        "unpack",
+                        rp.bytes,
+                        Some(unpack),
+                    ));
+                }
+                let ev = unpack_ev.as_ref().unwrap();
+                if ev.is_done() {
+                    Poll::Done
+                } else {
+                    Poll::Blocked(ev.clone())
+                }
+            }
+        }
+    }
+
+    /// Drive an in-flight exchange to completion: poll every state machine,
+    /// blocking on whichever completions are outstanding, until all
+    /// transfers (sends *and* receives, including unpacks) have finished.
+    /// Returns the observed timing breakdown.
+    pub fn exchange_finish(&self, ctx: &RankCtx, mut handle: ExchangeHandle) -> ExchangeTiming {
+        let mut live: Vec<Machine> = std::mem::take(&mut handle.machines);
+        let mut done = vec![false; live.len()];
+        let mut timing = ExchangeTiming::default();
+        let stamp = |timing: &mut ExchangeTiming, m: Method, now: detsim::SimTime| {
+            let d = now.since(handle.started);
+            let e = timing.per_method.entry(m).or_default();
+            if d > *e {
+                *e = d;
+            }
+            if d > timing.total {
+                timing.total = d;
+            }
+        };
+        loop {
+            let mut blockers: Vec<Completion> = Vec::new();
+            for (i, mach) in live.iter_mut().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                match self.poll_machine(ctx, mach) {
+                    Poll::Done => {
+                        done[i] = true;
+                        stamp(&mut timing, mach.method(), ctx.sim().now());
+                    }
+                    Poll::Blocked(c) => blockers.push(c),
+                }
+            }
+            let now = ctx.sim().now();
+            handle.pending.retain(|(m, c)| {
+                if c.is_done() {
+                    stamp(&mut timing, *m, now);
+                    false
+                } else {
+                    true
+                }
+            });
+            blockers.extend(handle.pending.iter().map(|(_, c)| c.clone()));
+            if blockers.is_empty() {
+                break;
+            }
+            ctx.wait_any_completion(&blockers);
+        }
+        timing
+    }
+
+    /// One complete halo exchange: issue, overlap, and drain.
+    pub fn exchange(&self, ctx: &RankCtx) {
+        let h = self.exchange_start(ctx);
+        self.exchange_finish(ctx, h);
+    }
+
+    /// One complete halo exchange, returning the per-method timing
+    /// breakdown.
+    pub fn exchange_timed(&self, ctx: &RankCtx) -> ExchangeTiming {
+        let h = self.exchange_start(ctx);
+        self.exchange_finish(ctx, h)
+    }
+}

@@ -1,0 +1,261 @@
+//! Setup phase 3 — capability specialization (paper §III-C).
+//!
+//! Each subdomain-pair exchange is implemented with the first applicable of
+//! five methods, in order: `Kernel`, `PeerMemcpy`, `ColocatedMemcpy`,
+//! `CudaAwareMpi`, `Staged`. Which methods are *enabled* is configurable
+//! (the paper's Fig. 12 sweeps `+remote`, `+colo`, `+peer`, `+kernel`);
+//! which are *applicable* depends on where the two subdomains live and what
+//! the platform supports.
+
+use std::fmt;
+
+/// The five exchange implementations (paper Figs. 7-8).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum Method {
+    /// Self-exchange inside one GPU with a single kernel — no pack/unpack.
+    Kernel,
+    /// Same rank, peer access: pack → `cudaMemcpyPeerAsync` → unpack.
+    PeerMemcpy,
+    /// Same node, different ranks: `cudaIpc*` handles exchanged once at
+    /// setup, then pack → peer copy into the destination rank's buffer →
+    /// unpack, with no MPI during exchanges.
+    ColocatedMemcpy,
+    /// Device pointers passed straight to `MPI_Isend`/`Irecv`.
+    CudaAwareMpi,
+    /// Pack → D2H → host MPI → H2D → unpack. Always available.
+    Staged,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Method::Kernel => "kernel",
+            Method::PeerMemcpy => "peer",
+            Method::ColocatedMemcpy => "colocated",
+            Method::CudaAwareMpi => "cuda-aware",
+            Method::Staged => "staged",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The set of enabled methods (configuration knob for the Fig. 12 sweeps).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Methods(u8);
+
+impl Methods {
+    const KERNEL: u8 = 1 << 0;
+    const PEER: u8 = 1 << 1;
+    const COLOCATED: u8 = 1 << 2;
+    const CUDA_AWARE: u8 = 1 << 3;
+    const STAGED: u8 = 1 << 4;
+
+    /// Everything enabled except CUDA-aware MPI (the paper's default: on
+    /// their platform CUDA-aware was never faster, so it is never selected;
+    /// see [`Methods::all_with_cuda_aware`]).
+    pub fn all() -> Methods {
+        Methods(Self::KERNEL | Self::PEER | Self::COLOCATED | Self::STAGED)
+    }
+
+    /// Every method including CUDA-aware MPI.
+    pub fn all_with_cuda_aware() -> Methods {
+        Methods(Self::KERNEL | Self::PEER | Self::COLOCATED | Self::CUDA_AWARE | Self::STAGED)
+    }
+
+    /// Only the remote method: `Staged` ("+remote" in the figures).
+    pub fn staged_only() -> Methods {
+        Methods(Self::STAGED)
+    }
+
+    /// Only the remote method, using CUDA-aware MPI ("+remote/ca").
+    pub fn cuda_aware_only() -> Methods {
+        Methods(Self::CUDA_AWARE | Self::STAGED)
+    }
+
+    /// Add the colocated method ("+colo").
+    pub fn with_colocated(self) -> Methods {
+        Methods(self.0 | Self::COLOCATED)
+    }
+
+    /// Add the peer method ("+peer").
+    pub fn with_peer(self) -> Methods {
+        Methods(self.0 | Self::PEER)
+    }
+
+    /// Add the kernel method ("+kernel").
+    pub fn with_kernel(self) -> Methods {
+        Methods(self.0 | Self::KERNEL)
+    }
+
+    /// Whether a method is enabled.
+    pub fn contains(self, m: Method) -> bool {
+        let bit = match m {
+            Method::Kernel => Self::KERNEL,
+            Method::PeerMemcpy => Self::PEER,
+            Method::ColocatedMemcpy => Self::COLOCATED,
+            Method::CudaAwareMpi => Self::CUDA_AWARE,
+            Method::Staged => Self::STAGED,
+        };
+        self.0 & bit != 0
+    }
+}
+
+impl Default for Methods {
+    fn default() -> Self {
+        Methods::all()
+    }
+}
+
+/// Where the two endpoints of an exchange live, relative to each other, and
+/// what the platform supports — everything method selection needs.
+#[derive(Clone, Copy, Debug)]
+pub struct PairCaps {
+    /// Both subdomains on the same GPU (self-exchange).
+    pub same_device: bool,
+    /// Both subdomains' GPUs driven by the same MPI rank.
+    pub same_rank: bool,
+    /// Both subdomains' GPUs in the same node.
+    pub same_node: bool,
+    /// Peer access available between the two GPUs.
+    pub peer_access: bool,
+    /// The MPI library accepts device pointers.
+    pub cuda_aware: bool,
+}
+
+/// Pick the first applicable enabled method (paper §III-C). `Staged` is the
+/// universal fallback and is always applicable — but note that staging
+/// device buffers requires plain MPI; if `Staged` is disabled and only
+/// `CudaAwareMpi` is enabled on a non-CUDA-aware platform, this panics.
+pub fn select(enabled: Methods, caps: PairCaps) -> Method {
+    if caps.same_device && enabled.contains(Method::Kernel) {
+        return Method::Kernel;
+    }
+    if caps.same_rank && caps.peer_access && enabled.contains(Method::PeerMemcpy) {
+        return Method::PeerMemcpy;
+    }
+    if caps.same_node
+        && !caps.same_rank
+        && caps.peer_access
+        && enabled.contains(Method::ColocatedMemcpy)
+    {
+        return Method::ColocatedMemcpy;
+    }
+    if caps.cuda_aware && enabled.contains(Method::CudaAwareMpi) {
+        return Method::CudaAwareMpi;
+    }
+    assert!(
+        enabled.contains(Method::Staged),
+        "no applicable exchange method: enable Staged as a fallback"
+    );
+    Method::Staged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(same_device: bool, same_rank: bool, same_node: bool) -> PairCaps {
+        PairCaps {
+            same_device,
+            same_rank,
+            same_node,
+            peer_access: true,
+            cuda_aware: false,
+        }
+    }
+
+    #[test]
+    fn kernel_for_self_exchange() {
+        assert_eq!(
+            select(Methods::all(), caps(true, true, true)),
+            Method::Kernel
+        );
+    }
+
+    #[test]
+    fn self_exchange_without_kernel_falls_to_peer() {
+        let m = Methods::staged_only().with_peer();
+        assert_eq!(select(m, caps(true, true, true)), Method::PeerMemcpy);
+    }
+
+    #[test]
+    fn peer_for_same_rank_pairs() {
+        assert_eq!(
+            select(Methods::all(), caps(false, true, true)),
+            Method::PeerMemcpy
+        );
+    }
+
+    #[test]
+    fn colocated_for_same_node_cross_rank() {
+        assert_eq!(
+            select(Methods::all(), caps(false, false, true)),
+            Method::ColocatedMemcpy
+        );
+    }
+
+    #[test]
+    fn staged_for_remote() {
+        assert_eq!(
+            select(Methods::all(), caps(false, false, false)),
+            Method::Staged
+        );
+    }
+
+    #[test]
+    fn cuda_aware_when_enabled_and_supported() {
+        let mut c = caps(false, false, false);
+        c.cuda_aware = true;
+        assert_eq!(
+            select(Methods::all_with_cuda_aware(), c),
+            Method::CudaAwareMpi
+        );
+        // without platform support, falls to staged even if enabled
+        c.cuda_aware = false;
+        assert_eq!(select(Methods::all_with_cuda_aware(), c), Method::Staged);
+    }
+
+    #[test]
+    fn no_peer_access_falls_through() {
+        let mut c = caps(false, true, true);
+        c.peer_access = false;
+        assert_eq!(select(Methods::all(), c), Method::Staged);
+    }
+
+    #[test]
+    fn staged_only_uses_staged_everywhere() {
+        let m = Methods::staged_only();
+        for c in [
+            caps(true, true, true),
+            caps(false, true, true),
+            caps(false, false, true),
+        ] {
+            assert_eq!(select(m, c), Method::Staged);
+        }
+    }
+
+    #[test]
+    fn method_set_builders() {
+        let m = Methods::staged_only()
+            .with_colocated()
+            .with_peer()
+            .with_kernel();
+        assert_eq!(m, Methods::all());
+        assert!(Methods::all_with_cuda_aware().contains(Method::CudaAwareMpi));
+        assert!(!Methods::all().contains(Method::CudaAwareMpi));
+        assert!(Methods::cuda_aware_only().contains(Method::Staged));
+    }
+
+    #[test]
+    #[should_panic(expected = "no applicable exchange method")]
+    fn empty_fallback_panics() {
+        let only_kernel = Methods(Methods::KERNEL);
+        select(only_kernel, caps(false, false, false));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Method::ColocatedMemcpy.to_string(), "colocated");
+        assert_eq!(Method::Staged.to_string(), "staged");
+    }
+}

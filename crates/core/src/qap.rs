@@ -1,0 +1,263 @@
+//! Quadratic assignment problem solvers (paper §III-B).
+//!
+//! Minimize `sum_{i,j} w[i][j] * d[f(i)][f(j)]` over bijections `f` from
+//! facilities (subdomains) to locations (GPUs). QAP is NP-hard; nodes have
+//! few GPUs, so the paper checks all assignments exhaustively. For larger
+//! nodes we add a greedy + 2-opt heuristic (a "future work" item).
+
+/// Cost of assignment `f` (facility `i` at location `f[i]`).
+pub fn cost(w: &[Vec<f64>], d: &[Vec<f64>], f: &[usize]) -> f64 {
+    let n = w.len();
+    let mut c = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            // Skip zero-flow terms so that unreachable locations
+            // (distance = +inf, e.g. measured-zero bandwidth) don't poison
+            // the sum with `0 * inf = NaN`.
+            if w[i][j] != 0.0 {
+                c += w[i][j] * d[f[i]][f[j]];
+            }
+        }
+    }
+    c
+}
+
+/// Exhaustively search all `n!` assignments. Deterministic: among equal-cost
+/// optima, the lexicographically-smallest assignment wins. Intended for
+/// `n <= 8` (the paper's nodes have 6 GPUs).
+pub fn solve_exhaustive(w: &[Vec<f64>], d: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = w.len();
+    assert_eq!(d.len(), n, "flow and distance matrices must agree");
+    assert!(n <= 10, "exhaustive QAP beyond n=10 is unreasonable");
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Lexicographic permutation enumeration keeps tie-breaking well defined.
+    loop {
+        let c = cost(w, d, &perm);
+        match &best {
+            Some((_, bc)) if c >= *bc => {}
+            _ => best = Some((perm.clone(), c)),
+        }
+        if !next_permutation(&mut perm) {
+            break;
+        }
+    }
+    best.expect("n >= 1")
+}
+
+/// Advance to the next lexicographic permutation; false when wrapped.
+fn next_permutation(p: &mut [usize]) -> bool {
+    let n = p.len();
+    if n < 2 {
+        return false;
+    }
+    let mut i = n - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = n - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
+}
+
+/// Greedy construction + 2-opt improvement, for nodes with many GPUs.
+/// Deterministic.
+pub fn solve_greedy_2opt(w: &[Vec<f64>], d: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = w.len();
+    assert_eq!(d.len(), n);
+    // Greedy: place the facility with the largest total flow at the
+    // location with the smallest total distance, and so on.
+    let mut fac_order: Vec<usize> = (0..n).collect();
+    let flow_sum: Vec<f64> = (0..n)
+        .map(|i| (0..n).map(|j| w[i][j] + w[j][i]).sum())
+        .collect();
+    fac_order.sort_by(|&a, &b| {
+        flow_sum[b]
+            .partial_cmp(&flow_sum[a])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut loc_order: Vec<usize> = (0..n).collect();
+    let dist_sum: Vec<f64> = (0..n)
+        .map(|i| (0..n).map(|j| d[i][j] + d[j][i]).sum())
+        .collect();
+    loc_order.sort_by(|&a, &b| {
+        dist_sum[a]
+            .partial_cmp(&dist_sum[b])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut f = vec![0usize; n];
+    for (fi, li) in fac_order.iter().zip(&loc_order) {
+        f[*fi] = *li;
+    }
+    // 2-opt: swap pairs while improving.
+    let mut c = cost(w, d, &f);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                f.swap(i, j);
+                let nc = cost(w, d, &f);
+                if nc + 1e-12 < c {
+                    c = nc;
+                    improved = true;
+                } else {
+                    f.swap(i, j);
+                }
+            }
+        }
+    }
+    (f, c)
+}
+
+/// Solve: exhaustive for small instances, heuristic beyond.
+pub fn solve(w: &[Vec<f64>], d: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    if w.len() <= 8 {
+        solve_exhaustive(w, d)
+    } else {
+        solve_greedy_2opt(w, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat(rows: &[&[f64]]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn identity_when_distance_uniform() {
+        let w = mat(&[&[0.0, 5.0], &[5.0, 0.0]]);
+        let d = mat(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let (f, c) = solve_exhaustive(&w, &d);
+        assert_eq!(f, vec![0, 1]); // tie -> lexicographically smallest
+        assert!((c - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_flow_pairs_land_on_short_distances() {
+        // facilities: 0-1 heavy flow, 2 isolated.
+        let w = mat(&[&[0.0, 100.0, 1.0], &[100.0, 0.0, 1.0], &[1.0, 1.0, 0.0]]);
+        // locations: 1-2 close, 0 far from both.
+        let d = mat(&[&[0.0, 10.0, 10.0], &[10.0, 0.0, 1.0], &[10.0, 1.0, 0.0]]);
+        let (f, _) = solve_exhaustive(&w, &d);
+        // facilities 0 and 1 must occupy locations 1 and 2.
+        assert!(
+            f[0] != 0 && f[1] != 0,
+            "heavy pair on the close locations: {f:?}"
+        );
+        assert_eq!(f[2], 0);
+    }
+
+    #[test]
+    fn next_permutation_enumerates_all() {
+        let mut p = vec![0, 1, 2, 3];
+        let mut count = 1;
+        while next_permutation(&mut p) {
+            count += 1;
+        }
+        assert_eq!(count, 24);
+        assert_eq!(p, vec![3, 2, 1, 0], "ends at the last permutation");
+    }
+
+    #[test]
+    fn single_facility() {
+        let w = mat(&[&[0.0]]);
+        let d = mat(&[&[0.0]]);
+        assert_eq!(solve_exhaustive(&w, &d).0, vec![0]);
+        assert_eq!(solve_greedy_2opt(&w, &d).0, vec![0]);
+    }
+
+    #[test]
+    fn heuristic_matches_exhaustive_on_small_instances() {
+        // deterministic pseudo-random instances
+        let mut state = 12345u64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for n in 2..=6 {
+            let w: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rnd() * 10.0).collect())
+                .collect();
+            let d: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+            let (_, ce) = solve_exhaustive(&w, &d);
+            let (_, ch) = solve_greedy_2opt(&w, &d);
+            assert!(
+                ch <= ce * 1.25 + 1e-9,
+                "heuristic within 25% of optimum (n={n}): {ch} vs {ce}"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_dispatches_by_size() {
+        let n = 9;
+        let w: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i * j) % 5) as f64).collect())
+            .collect();
+        let d: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i + j) % 3) as f64).collect())
+            .collect();
+        let (f, _) = solve(&w, &d); // must not panic (heuristic path)
+        let mut sorted = f.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..n).collect::<Vec<_>>(),
+            "assignment is a permutation"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_exhaustive_beats_any_permutation(seed in 0u64..5000) {
+            let n = 4usize;
+            let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+            let mut rnd = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64) / (u32::MAX as f64)
+            };
+            let w: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+            let d: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+            let (_, best) = solve_exhaustive(&w, &d);
+            // a handful of random permutations can't beat it
+            let mut p: Vec<usize> = (0..n).collect();
+            for _ in 0..8 {
+                let i = (rnd() * n as f64) as usize % n;
+                let j = (rnd() * n as f64) as usize % n;
+                p.swap(i, j);
+                prop_assert!(cost(&w, &d, &p) >= best - 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_heuristic_is_permutation(n in 2usize..12, seed in 0u64..1000) {
+            let mut state = seed.wrapping_add(7);
+            let mut rnd = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64) / (u32::MAX as f64)
+            };
+            let w: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+            let d: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+            let (f, _) = solve_greedy_2opt(&w, &d);
+            let mut s = f.clone();
+            s.sort_unstable();
+            prop_assert_eq!(s, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Stencil radius: how many halo cells each face needs.
+//!
+//! The library supports stencils of any radius, and (beyond the paper's
+//! evaluation, which uses a uniform radius) an asymmetric per-face radius —
+//! e.g. an upwind scheme needing 3 cells in `-x` but 1 in `+x`.
+
+use crate::dim3::Dir3;
+
+/// Halo widths per face. `x_neg` is the number of cells this subdomain
+/// needs *from* its `-x` neighbor (the width of the halo slab on its `-x`
+/// side), and so on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Radius {
+    /// Halo width on the -x side.
+    pub x_neg: u64,
+    /// Halo width on the +x side.
+    pub x_pos: u64,
+    /// Halo width on the -y side.
+    pub y_neg: u64,
+    /// Halo width on the +y side.
+    pub y_pos: u64,
+    /// Halo width on the -z side.
+    pub z_neg: u64,
+    /// Halo width on the +z side.
+    pub z_pos: u64,
+}
+
+impl Radius {
+    /// The same radius in every direction (the common case; the paper's
+    /// benchmarks use this).
+    pub fn constant(r: u64) -> Radius {
+        Radius {
+            x_neg: r,
+            x_pos: r,
+            y_neg: r,
+            y_pos: r,
+            z_neg: r,
+            z_pos: r,
+        }
+    }
+
+    /// Per-face radii, ordered `(x-, x+, y-, y+, z-, z+)`.
+    pub fn faces(x_neg: u64, x_pos: u64, y_neg: u64, y_pos: u64, z_neg: u64, z_pos: u64) -> Radius {
+        Radius {
+            x_neg,
+            x_pos,
+            y_neg,
+            y_pos,
+            z_neg,
+            z_pos,
+        }
+    }
+
+    /// Halo width on the side of axis `a` facing `sign` (−1 or +1).
+    pub fn side(&self, axis: usize, sign: i8) -> u64 {
+        match (axis, sign) {
+            (0, -1) => self.x_neg,
+            (0, 1) => self.x_pos,
+            (1, -1) => self.y_neg,
+            (1, 1) => self.y_pos,
+            (2, -1) => self.z_neg,
+            (2, 1) => self.z_pos,
+            _ => panic!("invalid axis/sign ({axis}, {sign})"),
+        }
+    }
+
+    /// Negative-side halo widths per axis.
+    pub fn neg(&self) -> [u64; 3] {
+        [self.x_neg, self.y_neg, self.z_neg]
+    }
+
+    /// Positive-side halo widths per axis.
+    pub fn pos(&self) -> [u64; 3] {
+        [self.x_pos, self.y_pos, self.z_pos]
+    }
+
+    /// The largest radius component.
+    pub fn max(&self) -> u64 {
+        [
+            self.x_neg, self.x_pos, self.y_neg, self.y_pos, self.z_neg, self.z_pos,
+        ]
+        .into_iter()
+        .max()
+        .unwrap()
+    }
+
+    /// Cells sent from a subdomain of interior extent `ext` toward
+    /// direction `d` (per quantity). The receiver stores them in the halo
+    /// slab on its `-d` side, so the slab width along a signed axis is the
+    /// receiver's halo width on the side *facing the sender*.
+    pub fn halo_extent(&self, ext: [u64; 3], d: Dir3) -> [u64; 3] {
+        let mut out = [0u64; 3];
+        for a in 0..3 {
+            out[a] = match d.0[a] {
+                0 => ext[a],
+                // Sending toward +a: receiver's -a side halo.
+                1 => self.side(a, -1),
+                // Sending toward -a: receiver's +a side halo.
+                -1 => self.side(a, 1),
+                _ => unreachable!(),
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim3::Neighborhood;
+
+    #[test]
+    fn constant_radius_uniform() {
+        let r = Radius::constant(3);
+        for a in 0..3 {
+            for s in [-1i8, 1] {
+                assert_eq!(r.side(a, s), 3);
+            }
+        }
+        assert_eq!(r.max(), 3);
+    }
+
+    #[test]
+    fn asymmetric_faces() {
+        let r = Radius::faces(1, 2, 3, 4, 5, 6);
+        assert_eq!(r.side(0, -1), 1);
+        assert_eq!(r.side(0, 1), 2);
+        assert_eq!(r.side(2, 1), 6);
+        assert_eq!(r.neg(), [1, 3, 5]);
+        assert_eq!(r.pos(), [2, 4, 6]);
+        assert_eq!(r.max(), 6);
+    }
+
+    #[test]
+    fn face_halo_extent() {
+        let r = Radius::constant(2);
+        let ext = [10, 20, 30];
+        // sending toward +x: a 2-cell slab of the y-z face
+        assert_eq!(r.halo_extent(ext, Dir3::new(1, 0, 0)), [2, 20, 30]);
+        assert_eq!(r.halo_extent(ext, Dir3::new(0, -1, 0)), [10, 2, 30]);
+    }
+
+    #[test]
+    fn corner_halo_extent() {
+        let r = Radius::constant(2);
+        assert_eq!(r.halo_extent([10, 20, 30], Dir3::new(1, 1, 1)), [2, 2, 2]);
+    }
+
+    #[test]
+    fn asymmetric_halo_extent_uses_receiver_side() {
+        let r = Radius::faces(1, 9, 0, 0, 0, 0);
+        // Sending toward +x: receiver needs its -x halo = x_neg = 1 cell.
+        assert_eq!(r.halo_extent([5, 5, 5], Dir3::new(1, 0, 0))[0], 1);
+        // Sending toward -x: receiver needs its +x halo = x_pos = 9 cells.
+        assert_eq!(r.halo_extent([5, 5, 5], Dir3::new(-1, 0, 0))[0], 9);
+    }
+
+    #[test]
+    fn total_exchange_volume_symmetry() {
+        // For a constant radius the total sent volume over all 26 directions
+        // equals the analytic surface shell.
+        let r = Radius::constant(1);
+        let ext = [8u64, 8, 8];
+        let total: u64 = Neighborhood::Full26
+            .directions()
+            .into_iter()
+            .map(|d| {
+                let e = r.halo_extent(ext, d);
+                e[0] * e[1] * e[2]
+            })
+            .sum();
+        // shell of a 10^3 cube minus the 8^3 core: 10^3-8^3 = 488
+        assert_eq!(total, 488);
+    }
+}

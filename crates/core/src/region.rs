@@ -1,0 +1,343 @@
+//! Halo region geometry and pack/unpack (paper Fig. 6).
+//!
+//! A subdomain of interior extent `ext` with radius `r` is stored as an
+//! `(r.x_neg + ext.x + r.x_pos) × … ` array in XYZ order (x fastest). The
+//! halo exchanged toward direction `d` is a 3D sub-box; because of the
+//! linear storage order it is strided in memory, so it is packed into a
+//! dense buffer before transfer and unpacked after.
+
+use crate::dim3::{Dim3, Dir3};
+use crate::radius::Radius;
+
+/// A box in *local array* coordinates (including halo cells).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Region {
+    /// First cell.
+    pub start: Dim3,
+    /// Cells per axis.
+    pub extent: Dim3,
+}
+
+impl Region {
+    /// Cells in the region.
+    pub fn volume(&self) -> u64 {
+        self.extent[0] * self.extent[1] * self.extent[2]
+    }
+}
+
+/// Local array dimensions for a subdomain of interior extent `ext`.
+pub fn array_dims(ext: Dim3, r: &Radius) -> Dim3 {
+    let neg = r.neg();
+    let pos = r.pos();
+    [
+        neg[0] + ext[0] + pos[0],
+        neg[1] + ext[1] + pos[1],
+        neg[2] + ext[2] + pos[2],
+    ]
+}
+
+/// The interior cells a sender packs when sending toward `d`: the slab of
+/// its interior adjacent to the `d` boundary, as wide as the *receiver's*
+/// halo on the side facing back.
+pub fn src_region(ext: Dim3, r: &Radius, d: Dir3) -> Region {
+    let neg = r.neg();
+    let mut start = [0u64; 3];
+    let mut extent = [0u64; 3];
+    for a in 0..3 {
+        match d.0[a] {
+            0 => {
+                start[a] = neg[a];
+                extent[a] = ext[a];
+            }
+            1 => {
+                // receiver's -a halo has width r.side(a, -1)
+                let w = r.side(a, -1);
+                assert!(
+                    ext[a] >= w,
+                    "subdomain extent {} too small for radius {w}",
+                    ext[a]
+                );
+                start[a] = neg[a] + ext[a] - w;
+                extent[a] = w;
+            }
+            -1 => {
+                let w = r.side(a, 1);
+                assert!(
+                    ext[a] >= w,
+                    "subdomain extent {} too small for radius {w}",
+                    ext[a]
+                );
+                start[a] = neg[a];
+                extent[a] = w;
+            }
+            _ => unreachable!(),
+        }
+    }
+    Region { start, extent }
+}
+
+/// The halo cells a receiver unpacks for data sent toward `d` (i.e. from
+/// its neighbor in direction `-d`): the exterior slab on its `-d` side.
+pub fn dst_region(ext: Dim3, r: &Radius, d: Dir3) -> Region {
+    let neg = r.neg();
+    let mut start = [0u64; 3];
+    let mut extent = [0u64; 3];
+    for a in 0..3 {
+        match d.0[a] {
+            0 => {
+                start[a] = neg[a];
+                extent[a] = ext[a];
+            }
+            // data moving toward +a lands in the receiver's low-side halo
+            1 => {
+                start[a] = 0;
+                extent[a] = r.side(a, -1);
+            }
+            // data moving toward -a lands in the receiver's high-side halo
+            -1 => {
+                start[a] = neg[a] + ext[a];
+                extent[a] = r.side(a, 1);
+            }
+            _ => unreachable!(),
+        }
+    }
+    Region { start, extent }
+}
+
+#[inline]
+fn cell_offset(dims: Dim3, x: u64, y: u64, z: u64, elem: usize) -> usize {
+    (((z * dims[1] + y) * dims[0] + x) as usize) * elem
+}
+
+/// Pack `region` of a local array (`dims`, `elem` bytes per cell) into
+/// `out[out_off..]` densely, x-fastest order. Returns bytes written.
+pub fn pack(
+    src: &[u8],
+    dims: Dim3,
+    elem: usize,
+    region: Region,
+    out: &mut [u8],
+    out_off: usize,
+) -> usize {
+    let row = region.extent[0] as usize * elem;
+    let mut o = out_off;
+    for z in region.start[2]..region.start[2] + region.extent[2] {
+        for y in region.start[1]..region.start[1] + region.extent[1] {
+            let s = cell_offset(dims, region.start[0], y, z, elem);
+            out[o..o + row].copy_from_slice(&src[s..s + row]);
+            o += row;
+        }
+    }
+    o - out_off
+}
+
+/// Unpack a dense buffer (`inp[in_off..]`) into `region` of a local array.
+/// Returns bytes read.
+pub fn unpack(
+    inp: &[u8],
+    in_off: usize,
+    dst: &mut [u8],
+    dims: Dim3,
+    elem: usize,
+    region: Region,
+) -> usize {
+    let row = region.extent[0] as usize * elem;
+    let mut i = in_off;
+    for z in region.start[2]..region.start[2] + region.extent[2] {
+        for y in region.start[1]..region.start[1] + region.extent[1] {
+            let d = cell_offset(dims, region.start[0], y, z, elem);
+            dst[d..d + row].copy_from_slice(&inp[i..i + row]);
+            i += row;
+        }
+    }
+    i - in_off
+}
+
+/// Copy `src_region` to `dst_region` inside the *same* array (the `Kernel`
+/// self-exchange method). Regions must have equal extents and not overlap.
+pub fn copy_region(arr: &mut [u8], dims: Dim3, elem: usize, from: Region, to: Region) {
+    assert_eq!(from.extent, to.extent, "region shape mismatch");
+    let row = from.extent[0] as usize * elem;
+    for dz in 0..from.extent[2] {
+        for dy in 0..from.extent[1] {
+            let s = cell_offset(
+                dims,
+                from.start[0],
+                from.start[1] + dy,
+                from.start[2] + dz,
+                elem,
+            );
+            let d = cell_offset(dims, to.start[0], to.start[1] + dy, to.start[2] + dz, elem);
+            arr.copy_within(s..s + row, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r2() -> Radius {
+        Radius::constant(2)
+    }
+
+    #[test]
+    fn array_dims_include_halo() {
+        assert_eq!(array_dims([10, 20, 30], &r2()), [14, 24, 34]);
+        let r = Radius::faces(1, 2, 3, 4, 5, 6);
+        assert_eq!(array_dims([10, 10, 10], &r), [13, 17, 21]);
+    }
+
+    #[test]
+    fn src_and_dst_regions_match_shape() {
+        let ext = [10, 20, 30];
+        let r = r2();
+        for d in crate::dim3::Neighborhood::Full26.directions() {
+            let s = src_region(ext, &r, d);
+            let t = dst_region(ext, &r, d);
+            assert_eq!(s.extent, t.extent, "direction {d:?}");
+            assert_eq!(s.extent, r.halo_extent(ext, d));
+        }
+    }
+
+    #[test]
+    fn face_regions_are_where_expected() {
+        let ext = [10, 10, 10];
+        let r = r2();
+        // sending toward +x: last 2 interior x-planes
+        let s = src_region(ext, &r, Dir3::new(1, 0, 0));
+        assert_eq!(s.start, [2 + 10 - 2, 2, 2]);
+        assert_eq!(s.extent, [2, 10, 10]);
+        // received on the neighbor's low-x halo
+        let t = dst_region(ext, &r, Dir3::new(1, 0, 0));
+        assert_eq!(t.start, [0, 2, 2]);
+        assert_eq!(t.extent, [2, 10, 10]);
+    }
+
+    #[test]
+    fn corner_regions() {
+        let ext = [8, 8, 8];
+        let r = r2();
+        let s = src_region(ext, &r, Dir3::new(-1, 1, -1));
+        assert_eq!(s.start, [2, 8, 2]);
+        assert_eq!(s.extent, [2, 2, 2]);
+        let t = dst_region(ext, &r, Dir3::new(-1, 1, -1));
+        assert_eq!(t.start, [10, 0, 10]);
+        assert_eq!(t.extent, [2, 2, 2]);
+    }
+
+    fn fill_pattern(dims: Dim3, elem: usize) -> Vec<u8> {
+        (0..(dims[0] * dims[1] * dims[2]) as usize * elem)
+            .map(|i| (i % 251) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn pack_then_unpack_round_trips() {
+        let ext = [6, 5, 4];
+        let r = r2();
+        let dims = array_dims(ext, &r);
+        let elem = 4;
+        let src = fill_pattern(dims, elem);
+        for d in crate::dim3::Neighborhood::Full26.directions() {
+            let reg = src_region(ext, &r, d);
+            let mut buf = vec![0u8; reg.volume() as usize * elem];
+            let n = pack(&src, dims, elem, reg, &mut buf, 0);
+            assert_eq!(n, buf.len());
+            let mut dst = vec![0u8; src.len()];
+            let m = unpack(&buf, 0, &mut dst, dims, elem, reg);
+            assert_eq!(m, buf.len());
+            // the unpacked region must equal the source region cell-by-cell
+            for z in reg.start[2]..reg.start[2] + reg.extent[2] {
+                for y in reg.start[1]..reg.start[1] + reg.extent[1] {
+                    for x in reg.start[0]..reg.start[0] + reg.extent[0] {
+                        let o = cell_offset(dims, x, y, z, elem);
+                        assert_eq!(&dst[o..o + elem], &src[o..o + elem]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_is_dense_and_ordered() {
+        // 2x2x1 region of a known array: row-major x-fastest
+        let dims = [4, 4, 1];
+        let elem = 1;
+        let src: Vec<u8> = (0..16).collect();
+        let reg = Region {
+            start: [1, 1, 0],
+            extent: [2, 2, 1],
+        };
+        let mut out = vec![0u8; 4];
+        pack(&src, dims, elem, reg, &mut out, 0);
+        assert_eq!(out, vec![5, 6, 9, 10]);
+    }
+
+    #[test]
+    fn copy_region_moves_self_exchange_halo() {
+        let ext = [4, 4, 4];
+        let r = Radius::constant(1);
+        let dims = array_dims(ext, &r);
+        let elem = 1;
+        let mut arr = fill_pattern(dims, elem);
+        let d = Dir3::new(1, 0, 0);
+        let from = src_region(ext, &r, d);
+        let to = dst_region(ext, &r, d);
+        let expected: Vec<u8> = {
+            let mut buf = vec![0u8; from.volume() as usize];
+            pack(&arr, dims, elem, from, &mut buf, 0);
+            buf
+        };
+        copy_region(&mut arr, dims, elem, from, to);
+        let mut got = vec![0u8; to.volume() as usize];
+        pack(&arr, dims, elem, to, &mut got, 0);
+        assert_eq!(got, expected);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_unpack_identity(
+            ex in 2u64..8, ey in 2u64..8, ez in 2u64..8,
+            r in 1u64..3, elem in prop::sample::select(vec![1usize, 4, 8]),
+            dir_i in 0usize..26,
+        ) {
+            let ext = [ex.max(r), ey.max(r), ez.max(r)];
+            let rad = Radius::constant(r);
+            let dims = array_dims(ext, &rad);
+            let src = fill_pattern(dims, elem);
+            let d = crate::dim3::Neighborhood::Full26.directions()[dir_i];
+            let reg = src_region(ext, &rad, d);
+            let mut buf = vec![0u8; reg.volume() as usize * elem];
+            pack(&src, dims, elem, reg, &mut buf, 0);
+            let mut dst = src.clone();
+            // zero the region then unpack: must restore exactly
+            {
+                let zero = vec![0u8; buf.len()];
+                unpack(&zero, 0, &mut dst, dims, elem, reg);
+            }
+            unpack(&buf, 0, &mut dst, dims, elem, reg);
+            prop_assert_eq!(dst, src);
+        }
+
+        #[test]
+        fn prop_regions_disjoint_src_dst(
+            r in 1u64..4, dir_i in 0usize..26,
+        ) {
+            let ext = [9u64, 9, 9];
+            let rad = Radius::constant(r);
+            let d = crate::dim3::Neighborhood::Full26.directions()[dir_i];
+            let s = src_region(ext, &rad, d);
+            let t = dst_region(ext, &rad, d);
+            // src lies fully in the interior; dst has at least one axis in
+            // the halo -> they cannot overlap
+            let overlap = (0..3).all(|a| {
+                let s0 = s.start[a]; let s1 = s0 + s.extent[a];
+                let t0 = t.start[a]; let t1 = t0 + t.extent[a];
+                s0 < t1 && t0 < s1
+            });
+            prop_assert!(!overlap, "src {s:?} overlaps dst {t:?}");
+        }
+    }
+}

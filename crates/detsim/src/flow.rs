@@ -1,0 +1,462 @@
+//! Fair-share flow network: models bulk data transfers over shared links.
+//!
+//! A *link* has a capacity (bytes/sec) and a fixed latency. A *flow* moves a
+//! byte count over a path of links. Concurrent flows sharing a link divide
+//! its capacity: each flow's rate is `min` over its path links of
+//! `capacity / active-flow-count` ("bottleneck fair share"). This is a
+//! slightly conservative approximation of max-min fairness — a flow
+//! bottlenecked elsewhere still counts against a link's divisor — chosen
+//! because rate changes then only propagate to flows that *directly share a
+//! link* with the flow that started/finished, which keeps large simulations
+//! (hundreds of nodes, tens of thousands of concurrent transfers) cheap and
+//! exactly deterministic.
+//!
+//! Whenever the set of flows on any link changes, the affected flows'
+//! remaining byte counts are settled at the current instant, their rates
+//! recomputed, and their completion events re-projected. Stale completion
+//! events are invalidated with a per-flow generation counter.
+
+use std::collections::BTreeSet;
+
+use crate::kernel::{Action, Kernel};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a link in the network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub(crate) usize);
+
+/// Identifies an active flow.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(usize);
+
+pub(crate) struct Link {
+    name: String,
+    capacity: f64, // bytes per second
+    latency: SimDuration,
+    flows: BTreeSet<FlowId>,
+    /// Cumulative bytes that have finished crossing this link (diagnostics).
+    delivered: u64,
+    /// Sum of current rates of flows on this link (diagnostics).
+    load: f64,
+    /// Peak of `load / capacity` observed (diagnostics).
+    peak_util: f64,
+    /// Time-integral of load (bytes "scheduled" through the link).
+    busy_bytes: f64,
+    /// Last time `load` changed.
+    last_change: SimTime,
+}
+
+struct Flow {
+    path: Vec<LinkId>,
+    remaining: f64,
+    total: u64,
+    rate: f64,
+    last_update: SimTime,
+    generation: u64,
+    on_done: Option<Action>,
+}
+
+/// Container for links and flows; lives inside [`Kernel`].
+pub(crate) struct FlowNet {
+    links: Vec<Link>,
+    flows: Vec<Option<Flow>>,
+    /// Per-slot generation floor, persisted across slot reuse so that a
+    /// stale completion event scheduled for a *previous* occupant of a slot
+    /// can never match the current occupant's generation.
+    slot_gen: Vec<u64>,
+    free: Vec<usize>,
+    active: usize,
+}
+
+impl FlowNet {
+    pub(crate) fn new() -> Self {
+        FlowNet {
+            links: Vec::new(),
+            flows: Vec::new(),
+            slot_gen: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+        }
+    }
+
+    fn alloc(&mut self, mut flow: Flow) -> FlowId {
+        self.active += 1;
+        if let Some(i) = self.free.pop() {
+            debug_assert!(self.flows[i].is_none());
+            flow.generation = self.slot_gen[i];
+            self.flows[i] = Some(flow);
+            FlowId(i)
+        } else {
+            self.flows.push(Some(flow));
+            self.slot_gen.push(0);
+            FlowId(self.flows.len() - 1)
+        }
+    }
+}
+
+impl Kernel {
+    /// Add a link with the given capacity (bytes/second) and one-way latency.
+    pub fn add_link(&mut self, name: impl Into<String>, capacity_bps: f64, latency: SimDuration) -> LinkId {
+        assert!(
+            capacity_bps > 0.0 && capacity_bps.is_finite(),
+            "link capacity must be positive and finite"
+        );
+        self.flows.links.push(Link {
+            name: name.into(),
+            capacity: capacity_bps,
+            latency,
+            flows: BTreeSet::new(),
+            delivered: 0,
+            load: 0.0,
+            peak_util: 0.0,
+            busy_bytes: 0.0,
+            last_change: SimTime::ZERO,
+        });
+        LinkId(self.flows.links.len() - 1)
+    }
+
+    /// Capacity of a link in bytes/second.
+    pub fn link_capacity(&self, link: LinkId) -> f64 {
+        self.flows.links[link.0].capacity
+    }
+
+    /// Human-readable link name.
+    pub fn link_name(&self, link: LinkId) -> &str {
+        &self.flows.links[link.0].name
+    }
+
+    /// Total bytes delivered over a link so far.
+    pub fn link_delivered(&self, link: LinkId) -> u64 {
+        self.flows.links[link.0].delivered
+    }
+
+    /// Peak instantaneous utilization (sum of flow rates / capacity) seen on
+    /// a link. Values above 1.0 indicate an over-allocation bug.
+    pub fn link_peak_utilization(&self, link: LinkId) -> f64 {
+        self.flows.links[link.0].peak_util
+    }
+
+    /// Bytes "scheduled" through the link according to the time-integral of
+    /// its load. Should track [`Kernel::link_delivered`] closely; a large
+    /// mismatch indicates settlement bugs.
+    pub fn link_busy_bytes(&self, link: LinkId) -> f64 {
+        self.flows.links[link.0].busy_bytes
+    }
+
+    /// Number of flows currently in the network (activated, not yet done).
+    pub fn active_flows(&self) -> usize {
+        self.flows.active
+    }
+
+    /// Sum of one-way latencies along `path`.
+    pub fn path_latency(&self, path: &[LinkId]) -> SimDuration {
+        path.iter()
+            .fold(SimDuration::ZERO, |acc, l| acc + self.flows.links[l.0].latency)
+    }
+
+    /// Minimum capacity along `path` (the zero-contention bandwidth).
+    pub fn path_capacity(&self, path: &[LinkId]) -> f64 {
+        path.iter()
+            .map(|l| self.flows.links[l.0].capacity)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Start a transfer of `bytes` over `path`, running `on_done` when the
+    /// last byte arrives. The path latency is charged up front (pipelined
+    /// store-and-forward is not modeled; halo messages are large enough that
+    /// latency is a small additive term). Zero-byte transfers still pay the
+    /// latency.
+    ///
+    /// An empty path completes after zero time plus nothing — permitted for
+    /// degenerate "local" transfers.
+    pub fn start_flow(
+        &mut self,
+        path: &[LinkId],
+        bytes: u64,
+        on_done: impl FnOnce(&mut Kernel) + Send + 'static,
+    ) {
+        if path.is_empty() {
+            self.schedule_in(SimDuration::ZERO, on_done);
+            return;
+        }
+        let latency = self.path_latency(path);
+        let path: Vec<LinkId> = path.to_vec();
+        // After the latency elapses, the flow joins the links and begins
+        // consuming bandwidth.
+        self.schedule_in(latency, move |k| {
+            let id = k.flows.alloc(Flow {
+                path: path.clone(),
+                remaining: bytes as f64,
+                total: bytes,
+                rate: 0.0,
+                last_update: k.now(),
+                generation: 0,
+                on_done: Some(Box::new(on_done)),
+            });
+            let mut affected = BTreeSet::new();
+            for l in &path {
+                let link = &mut k.flows.links[l.0];
+                affected.extend(link.flows.iter().copied());
+                link.flows.insert(id);
+            }
+            affected.insert(id);
+            k.reshare(&affected);
+        });
+    }
+
+    /// Settle remaining bytes and recompute rates for `affected` flows, then
+    /// re-project their completion events.
+    fn reshare(&mut self, affected: &BTreeSet<FlowId>) {
+        let now = self.now();
+        for &fid in affected {
+            let Some(flow) = self.flows.flows[fid.0].as_ref() else {
+                continue; // completed in the meantime
+            };
+            // New bottleneck-fair rate.
+            let mut rate = f64::INFINITY;
+            for l in &flow.path {
+                let link = &self.flows.links[l.0];
+                let share = link.capacity / link.flows.len() as f64;
+                rate = rate.min(share);
+            }
+            let path = flow.path.clone();
+            let old_rate = flow.rate;
+            for l in &path {
+                let link = &mut self.flows.links[l.0];
+                let dt = now.since(link.last_change).as_secs_f64();
+                link.busy_bytes += link.load * dt;
+                link.last_change = now;
+                link.load += rate - old_rate;
+            }
+            let flow = self.flows.flows[fid.0].as_mut().unwrap();
+            // Settle progress at the old rate.
+            let dt = now.since(flow.last_update).as_secs_f64();
+            flow.remaining = (flow.remaining - flow.rate * dt).max(0.0);
+            flow.last_update = now;
+            flow.rate = rate;
+            flow.generation += 1;
+            let gen = flow.generation;
+            let eta = SimDuration::from_secs_f64(flow.remaining / rate);
+            self.schedule_in(eta, move |k| k.finish_flow(fid, gen));
+        }
+        // Record utilization peaks only after the whole batch settles.
+        for &fid in affected {
+            if let Some(flow) = self.flows.flows[fid.0].as_ref() {
+                let path = flow.path.clone();
+                for l in &path {
+                    let link = &mut self.flows.links[l.0];
+                    let u = link.load / link.capacity;
+                    if u > link.peak_util {
+                        link.peak_util = u;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_flow(&mut self, fid: FlowId, gen: u64) {
+        let fresh = match self.flows.flows[fid.0].as_ref() {
+            Some(f) => f.generation == gen,
+            None => false,
+        };
+        if !fresh {
+            return; // superseded by a rate change
+        }
+        let flow = self.flows.flows[fid.0].take().expect("flow vanished");
+        // Outstanding (stale) events carry generations <= flow.generation;
+        // start the next occupant of this slot above all of them.
+        self.flows.slot_gen[fid.0] = flow.generation + 1;
+        self.flows.free.push(fid.0);
+        self.flows.active -= 1;
+        let mut affected = BTreeSet::new();
+        let now = self.now();
+        for l in &flow.path {
+            let link = &mut self.flows.links[l.0];
+            link.flows.remove(&fid);
+            link.delivered += flow.total;
+            let dt = now.since(link.last_change).as_secs_f64();
+            link.busy_bytes += link.load * dt;
+            link.last_change = now;
+            link.load -= flow.rate;
+            affected.extend(link.flows.iter().copied());
+        }
+        self.reshare(&affected);
+        if let Some(cb) = flow.on_done {
+            cb(self);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+    use crate::time::PS_PER_SEC;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn finish_time(k: &mut Kernel, done: &Arc<AtomicU64>) -> f64 {
+        k.run_to_completion();
+        assert!(done.load(Ordering::SeqCst) > 0, "flow never finished");
+        k.now().as_secs_f64()
+    }
+
+    fn make_done(k: &mut Kernel) -> (Arc<AtomicU64>, impl FnOnce(&mut Kernel) + Send + 'static) {
+        let _ = k;
+        let done = Arc::new(AtomicU64::new(0));
+        let d2 = Arc::clone(&done);
+        (done, move |k: &mut Kernel| {
+            d2.store(k.now().picos().max(1), Ordering::SeqCst);
+        })
+    }
+
+    #[test]
+    fn solo_flow_runs_at_link_capacity() {
+        let mut k = Kernel::new();
+        let l = k.add_link("l", 100.0, SimDuration::ZERO);
+        let (done, cb) = make_done(&mut k);
+        k.start_flow(&[l], 200, cb);
+        let t = finish_time(&mut k, &done);
+        assert!((t - 2.0).abs() < 1e-9, "expected 2s, got {t}");
+    }
+
+    #[test]
+    fn latency_is_charged_up_front() {
+        let mut k = Kernel::new();
+        let l = k.add_link("l", 100.0, SimDuration::from_secs_f64(0.5));
+        let (done, cb) = make_done(&mut k);
+        k.start_flow(&[l], 100, cb);
+        let t = finish_time(&mut k, &done);
+        assert!((t - 1.5).abs() < 1e-9, "expected 1.5s, got {t}");
+    }
+
+    #[test]
+    fn two_flows_share_a_link_evenly() {
+        let mut k = Kernel::new();
+        let l = k.add_link("l", 100.0, SimDuration::ZERO);
+        let (done, cb) = make_done(&mut k);
+        let (done2, cb2) = make_done(&mut k);
+        k.start_flow(&[l], 100, cb);
+        k.start_flow(&[l], 100, cb2);
+        k.run_to_completion();
+        // Each gets 50 B/s -> both finish at t=2.
+        let t1 = done.load(Ordering::SeqCst) as f64 / PS_PER_SEC as f64;
+        let t2 = done2.load(Ordering::SeqCst) as f64 / PS_PER_SEC as f64;
+        assert!((t1 - 2.0).abs() < 1e-9, "t1={t1}");
+        assert!((t2 - 2.0).abs() < 1e-9, "t2={t2}");
+    }
+
+    #[test]
+    fn late_joiner_slows_existing_flow() {
+        let mut k = Kernel::new();
+        let l = k.add_link("l", 100.0, SimDuration::ZERO);
+        let (done, cb) = make_done(&mut k);
+        k.start_flow(&[l], 100, cb);
+        // second flow arrives at t=0.5 (when flow 1 has 50 bytes left)
+        let (done2, cb2) = make_done(&mut k);
+        k.schedule_in(SimDuration::from_secs_f64(0.5), move |k| {
+            k.start_flow(&[l], 100, cb2);
+        });
+        k.run_to_completion();
+        // flow1: 50B at 100B/s then 50B at 50B/s -> done at t=1.5
+        let t1 = done.load(Ordering::SeqCst) as f64 / PS_PER_SEC as f64;
+        assert!((t1 - 1.5).abs() < 1e-6, "t1={t1}");
+        // flow2: 50B at 50B/s (until t=1.5), then 50B at 100B/s -> t=2.0
+        let t2 = done2.load(Ordering::SeqCst) as f64 / PS_PER_SEC as f64;
+        assert!((t2 - 2.0).abs() < 1e-6, "t2={t2}");
+    }
+
+    #[test]
+    fn multi_link_path_bottlenecked_by_slowest() {
+        let mut k = Kernel::new();
+        let fast = k.add_link("fast", 1000.0, SimDuration::ZERO);
+        let slow = k.add_link("slow", 10.0, SimDuration::ZERO);
+        let (done, cb) = make_done(&mut k);
+        k.start_flow(&[fast, slow], 100, cb);
+        let t = finish_time(&mut k, &done);
+        assert!((t - 10.0).abs() < 1e-9, "expected 10s, got {t}");
+    }
+
+    #[test]
+    fn empty_path_completes_immediately() {
+        let mut k = Kernel::new();
+        let (done, cb) = make_done(&mut k);
+        k.start_flow(&[], 12345, cb);
+        k.run_to_completion();
+        assert_eq!(k.now(), SimTime::ZERO);
+        assert!(done.load(Ordering::SeqCst) > 0);
+    }
+
+    #[test]
+    fn zero_byte_flow_pays_latency_only() {
+        let mut k = Kernel::new();
+        let l = k.add_link("l", 100.0, SimDuration::from_micros(7));
+        let (done, cb) = make_done(&mut k);
+        k.start_flow(&[l], 0, cb);
+        k.run_to_completion();
+        assert_eq!(k.now(), SimTime::ZERO + SimDuration::from_micros(7));
+        assert!(done.load(Ordering::SeqCst) > 0);
+    }
+
+    #[test]
+    fn delivered_bytes_accumulate() {
+        let mut k = Kernel::new();
+        let l = k.add_link("l", 100.0, SimDuration::ZERO);
+        for _ in 0..3 {
+            k.start_flow(&[l], 50, |_| {});
+        }
+        k.run_to_completion();
+        assert_eq!(k.link_delivered(l), 150);
+        assert_eq!(k.active_flows(), 0);
+    }
+
+    #[test]
+    fn disjoint_links_do_not_interfere() {
+        let mut k = Kernel::new();
+        let a = k.add_link("a", 100.0, SimDuration::ZERO);
+        let b = k.add_link("b", 100.0, SimDuration::ZERO);
+        let (done_a, cb_a) = make_done(&mut k);
+        let (done_b, cb_b) = make_done(&mut k);
+        k.start_flow(&[a], 100, cb_a);
+        k.start_flow(&[b], 100, cb_b);
+        k.run_to_completion();
+        let ta = done_a.load(Ordering::SeqCst) as f64 / PS_PER_SEC as f64;
+        let tb = done_b.load(Ordering::SeqCst) as f64 / PS_PER_SEC as f64;
+        assert!((ta - 1.0).abs() < 1e-9);
+        assert!((tb - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_flows_conserve_bytes() {
+        let mut k = Kernel::new();
+        let l = k.add_link("l", 1e9, SimDuration::from_micros(1));
+        let total = Arc::new(AtomicU64::new(0));
+        let mut expected = 0u64;
+        for i in 1..=64u64 {
+            let bytes = i * 1000;
+            expected += bytes;
+            let total = Arc::clone(&total);
+            // stagger starts
+            k.schedule_in(SimDuration::from_nanos(i * 100), move |k| {
+                k.start_flow(&[l], bytes, move |_| {
+                    total.fetch_add(bytes, Ordering::SeqCst);
+                });
+            });
+        }
+        k.run_to_completion();
+        assert_eq!(total.load(Ordering::SeqCst), expected);
+        assert_eq!(k.link_delivered(l), expected);
+        assert_eq!(k.active_flows(), 0);
+    }
+
+    #[test]
+    fn path_helpers() {
+        let mut k = Kernel::new();
+        let a = k.add_link("a", 100.0, SimDuration::from_micros(1));
+        let b = k.add_link("b", 50.0, SimDuration::from_micros(2));
+        assert_eq!(k.path_latency(&[a, b]), SimDuration::from_micros(3));
+        assert_eq!(k.path_capacity(&[a, b]), 50.0);
+        assert_eq!(k.link_name(a), "a");
+        assert_eq!(k.link_capacity(b), 50.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The simulation kernel: virtual clock, deterministic event queue, and
+//! one-shot completions.
+//!
+//! All simulation state (links, flows, FIFOs, traces, scheduler bookkeeping)
+//! hangs off [`Kernel`]. Exactly one thread touches the kernel at a time (it
+//! lives behind a mutex owned by [`crate::Sim`]), so event callbacks get
+//! `&mut Kernel` and can mutate anything.
+//!
+//! Determinism: events are ordered by `(time, sequence-number)` where the
+//! sequence number is assigned at scheduling time. Two events scheduled for
+//! the same instant therefore execute in scheduling order, independent of
+//! heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::fifo::FifoTable;
+use crate::flow::FlowNet;
+use crate::sched::SchedState;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// A callback run by the event loop. Runs at most once.
+pub type Action = Box<dyn FnOnce(&mut Kernel) + Send>;
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+enum CompletionState {
+    Pending {
+        /// Sim thread ids to make runnable when this completes.
+        waiters: Vec<usize>,
+        /// Callbacks to run (in registration order) when this completes.
+        callbacks: Vec<Action>,
+    },
+    Done,
+}
+
+/// A one-shot completion signal.
+///
+/// Threads block on completions via [`crate::SimCtx::wait`]; event callbacks
+/// chain off them via [`Kernel::on_complete`]. Cloning yields another handle
+/// to the same underlying signal.
+#[derive(Clone)]
+pub struct Completion(Arc<Mutex<CompletionState>>);
+
+impl Completion {
+    pub(crate) fn new() -> Self {
+        Completion(Arc::new(Mutex::new(CompletionState::Pending {
+            waiters: Vec::new(),
+            callbacks: Vec::new(),
+        })))
+    }
+
+    /// Whether the completion has fired. Only meaningful while holding the
+    /// kernel lock (i.e. from sim threads or event callbacks).
+    pub fn is_done(&self) -> bool {
+        matches!(*self.0.lock(), CompletionState::Done)
+    }
+}
+
+impl std::fmt::Debug for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Completion({})",
+            if self.is_done() { "done" } else { "pending" }
+        )
+    }
+}
+
+/// The heart of the simulator. See module docs.
+pub struct Kernel {
+    now: SimTime,
+    next_seq: u64,
+    queue: BinaryHeap<Event>,
+    pub(crate) flows: FlowNet,
+    pub(crate) fifos: FifoTable,
+    pub(crate) sched: SchedState,
+    /// Trace recorder (spans + instants) for timeline output.
+    pub trace: Trace,
+    executed_events: u64,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// A fresh kernel at t = 0 with no hardware.
+    pub fn new() -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            flows: FlowNet::new(),
+            fifos: FifoTable::new(),
+            sched: SchedState::new(),
+            trace: Trace::new(),
+            executed_events: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (diagnostics).
+    pub fn executed_events(&self) -> u64 {
+        self.executed_events
+    }
+
+    /// Schedule `action` to run at absolute time `at`. Scheduling into the
+    /// past is clamped to "now" (it still runs strictly after the current
+    /// callback returns).
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Kernel) + Send + 'static) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Event {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedule `action` to run `d` from now.
+    pub fn schedule_in(&mut self, d: SimDuration, action: impl FnOnce(&mut Kernel) + Send + 'static) {
+        self.schedule_at(self.now + d, action);
+    }
+
+    /// Create a fresh pending completion.
+    pub fn completion(&mut self) -> Completion {
+        Completion::new()
+    }
+
+    /// Create a completion that fires `d` from now.
+    pub fn completion_in(&mut self, d: SimDuration) -> Completion {
+        let c = Completion::new();
+        let c2 = c.clone();
+        self.schedule_in(d, move |k| k.complete(&c2));
+        c
+    }
+
+    /// Create a completion that fires when all of `parts` have fired.
+    /// An empty slice yields an already-done completion.
+    pub fn completion_all(&mut self, parts: &[Completion]) -> Completion {
+        let all = Completion::new();
+        let pending: Vec<&Completion> = parts.iter().filter(|c| !c.is_done()).collect();
+        if pending.is_empty() {
+            self.complete(&all);
+            return all;
+        }
+        let count = Arc::new(Mutex::new(pending.len()));
+        for part in pending {
+            let all = all.clone();
+            let count = Arc::clone(&count);
+            self.on_complete(part, move |k| {
+                let mut n = count.lock();
+                *n -= 1;
+                let zero = *n == 0;
+                drop(n);
+                if zero {
+                    k.complete(&all);
+                }
+            });
+        }
+        all
+    }
+
+    /// Fire a completion: wake all waiting threads and run all chained
+    /// callbacks (in registration order). Completing twice is a no-op.
+    pub fn complete(&mut self, c: &Completion) {
+        let prev = std::mem::replace(&mut *c.0.lock(), CompletionState::Done);
+        if let CompletionState::Pending { waiters, callbacks } = prev {
+            for tid in waiters {
+                self.sched.make_runnable(tid);
+            }
+            for cb in callbacks {
+                cb(self);
+            }
+        }
+    }
+
+    /// Run `action` when `c` completes; immediately if it already has.
+    pub fn on_complete(&mut self, c: &Completion, action: impl FnOnce(&mut Kernel) + Send + 'static) {
+        let mut st = c.0.lock();
+        match &mut *st {
+            CompletionState::Pending { callbacks, .. } => {
+                callbacks.push(Box::new(action));
+            }
+            CompletionState::Done => {
+                drop(st);
+                action(self);
+            }
+        }
+    }
+
+    /// Register sim thread `tid` as a waiter. Returns `true` if the
+    /// completion was already done (no registration happened).
+    pub(crate) fn add_waiter(&mut self, c: &Completion, tid: usize) -> bool {
+        let mut st = c.0.lock();
+        match &mut *st {
+            CompletionState::Pending { waiters, .. } => {
+                waiters.push(tid);
+                false
+            }
+            CompletionState::Done => true,
+        }
+    }
+
+    /// Whether any events remain queued.
+    pub fn has_pending_events(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Execute the earliest pending event (advancing the clock to it).
+    /// Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "event queue went backwards");
+                self.now = ev.at;
+                self.executed_events += 1;
+                (ev.action)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run the event loop until the queue drains. For pure event-driven
+    /// simulations (no sim threads).
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run the event loop until `c` completes or the queue drains. Returns
+    /// `true` if `c` completed.
+    pub fn run_until(&mut self, c: &Completion) -> bool {
+        while !c.is_done() {
+            if !self.step() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_execute_in_time_order() {
+        let mut k = Kernel::new();
+        let log: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(vec![]));
+        for (i, us) in [(1u32, 30u64), (2, 10), (3, 20)] {
+            let log = Arc::clone(&log);
+            k.schedule_in(SimDuration::from_micros(us), move |_| log.lock().push(i));
+        }
+        k.run_to_completion();
+        assert_eq!(*log.lock(), vec![2, 3, 1]);
+        assert_eq!(k.now(), SimTime::ZERO + SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn same_time_events_execute_in_schedule_order() {
+        let mut k = Kernel::new();
+        let log: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(vec![]));
+        for i in 0..100u32 {
+            let log = Arc::clone(&log);
+            k.schedule_in(SimDuration::from_micros(5), move |_| log.lock().push(i));
+        }
+        k.run_to_completion();
+        assert_eq!(*log.lock(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling_from_callbacks() {
+        let mut k = Kernel::new();
+        let log: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(vec![]));
+        let l2 = Arc::clone(&log);
+        k.schedule_in(SimDuration::from_micros(1), move |k| {
+            l2.lock().push("outer");
+            let l3 = Arc::clone(&l2);
+            k.schedule_in(SimDuration::from_micros(1), move |_| {
+                l3.lock().push("inner");
+            });
+        });
+        k.run_to_completion();
+        assert_eq!(*log.lock(), vec!["outer", "inner"]);
+        assert_eq!(k.now(), SimTime::ZERO + SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn completion_fires_callbacks_in_order() {
+        let mut k = Kernel::new();
+        let c = k.completion();
+        let log: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(vec![]));
+        for i in 0..5u32 {
+            let log = Arc::clone(&log);
+            k.on_complete(&c, move |_| log.lock().push(i));
+        }
+        assert!(!c.is_done());
+        k.complete(&c);
+        assert!(c.is_done());
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn on_complete_after_done_runs_immediately() {
+        let mut k = Kernel::new();
+        let c = k.completion();
+        k.complete(&c);
+        let hit = Arc::new(Mutex::new(false));
+        let h2 = Arc::clone(&hit);
+        k.on_complete(&c, move |_| *h2.lock() = true);
+        assert!(*hit.lock());
+    }
+
+    #[test]
+    fn double_complete_is_noop() {
+        let mut k = Kernel::new();
+        let c = k.completion();
+        let hits = Arc::new(Mutex::new(0));
+        let h2 = Arc::clone(&hits);
+        k.on_complete(&c, move |_| *h2.lock() += 1);
+        k.complete(&c);
+        k.complete(&c);
+        assert_eq!(*hits.lock(), 1);
+    }
+
+    #[test]
+    fn completion_all_waits_for_every_part() {
+        let mut k = Kernel::new();
+        let a = k.completion_in(SimDuration::from_micros(10));
+        let b = k.completion_in(SimDuration::from_micros(20));
+        let all = k.completion_all(&[a, b]);
+        assert!(k.run_until(&all));
+        assert_eq!(k.now(), SimTime::ZERO + SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn completion_all_empty_is_done() {
+        let mut k = Kernel::new();
+        let all = k.completion_all(&[]);
+        assert!(all.is_done());
+    }
+
+    #[test]
+    fn run_until_reports_unreachable_completion() {
+        let mut k = Kernel::new();
+        let c = k.completion();
+        assert!(!k.run_until(&c));
+    }
+
+    #[test]
+    fn schedule_into_past_clamps_to_now() {
+        let mut k = Kernel::new();
+        let fired_at = Arc::new(Mutex::new(SimTime::ZERO));
+        let f2 = Arc::clone(&fired_at);
+        k.schedule_in(SimDuration::from_micros(10), move |k| {
+            let f3 = Arc::clone(&f2);
+            // deliberately "before now"
+            k.schedule_at(SimTime::ZERO, move |k| *f3.lock() = k.now());
+        });
+        k.run_to_completion();
+        assert_eq!(*fired_at.lock(), SimTime::ZERO + SimDuration::from_micros(10));
+    }
+}

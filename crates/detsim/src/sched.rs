@@ -1,0 +1,539 @@
+//! Cooperative, deterministic scheduling of simulation threads.
+//!
+//! Simulated processes (e.g. MPI ranks) run as real OS threads for a natural
+//! blocking programming model, but **exactly one sim thread executes at a
+//! time**: a run token is handed from thread to thread. A thread gives up the
+//! token only at explicit blocking points (waiting on a [`Completion`],
+//! delaying). When no thread is runnable, the thread releasing the token runs
+//! the event loop until an event makes one runnable. Runnable threads are
+//! granted the token in ascending thread-id order.
+//!
+//! Because grants depend only on (deterministic) event order and thread ids,
+//! a simulation produces bit-identical virtual times on every run.
+
+use std::collections::BTreeSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crossbeam::sync::{Parker, Unparker};
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::kernel::{Completion, Kernel};
+use crate::time::{SimDuration, SimTime};
+
+/// Scheduler bookkeeping; lives inside [`Kernel`] so event callbacks can wake
+/// threads.
+pub(crate) struct SchedState {
+    runnable: BTreeSet<usize>,
+    current: Option<usize>,
+    alive: usize,
+    finished: Vec<bool>,
+    poisoned: bool,
+    unparkers: Vec<Unparker>,
+}
+
+impl SchedState {
+    pub(crate) fn new() -> Self {
+        SchedState {
+            runnable: BTreeSet::new(),
+            current: None,
+            alive: 0,
+            finished: Vec::new(),
+            poisoned: false,
+            unparkers: Vec::new(),
+        }
+    }
+
+    /// Mark a thread ready to receive the token. Idempotent; no-ops for the
+    /// currently-running or already-finished threads.
+    pub(crate) fn make_runnable(&mut self, tid: usize) {
+        if self.finished.get(tid).copied().unwrap_or(true) {
+            return;
+        }
+        if self.current == Some(tid) {
+            return;
+        }
+        self.runnable.insert(tid);
+    }
+}
+
+/// A deterministic simulation with cooperative threads.
+///
+/// ```
+/// use detsim::{Sim, SimDuration};
+///
+/// let mut sim = Sim::new();
+/// let order = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+/// let o = order.clone();
+/// sim.run(2, move |ctx| {
+///     ctx.delay(SimDuration::from_micros(10 * (ctx.tid() as u64 + 1)));
+///     o.lock().push(ctx.tid());
+/// });
+/// assert_eq!(*order.lock(), vec![0, 1]);
+/// ```
+pub struct Sim {
+    shared: Arc<SimShared>,
+}
+
+pub(crate) struct SimShared {
+    pub(crate) kernel: Mutex<Kernel>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// A fresh simulation (empty kernel at t = 0).
+    pub fn new() -> Self {
+        Sim {
+            shared: Arc::new(SimShared {
+                kernel: Mutex::new(Kernel::new()),
+            }),
+        }
+    }
+
+    /// Mutate or inspect the kernel outside of a running simulation
+    /// (topology setup, reading traces/statistics afterwards).
+    ///
+    /// Must not be called concurrently with [`Sim::run`].
+    pub fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        f(&mut self.shared.kernel.lock())
+    }
+
+    /// Run `n` copies of `program` (distinguished by [`SimCtx::tid`]) to
+    /// completion. Blocks the calling thread; returns when every sim thread
+    /// has returned. Virtual time persists across calls.
+    pub fn run<F>(&mut self, n: usize, program: F)
+    where
+        F: Fn(&SimCtx) + Send + Sync + 'static,
+    {
+        let program = Arc::new(program);
+        let programs: Vec<Program> = (0..n)
+            .map(|_| {
+                let p = Arc::clone(&program);
+                Box::new(move |ctx: &SimCtx| p(ctx)) as Program
+            })
+            .collect();
+        self.run_programs(programs);
+    }
+
+    /// Run heterogeneous per-thread programs.
+    pub fn run_programs(&mut self, programs: Vec<Program>) {
+        let n = programs.len();
+        if n == 0 {
+            return;
+        }
+        let mut parkers = Vec::with_capacity(n);
+        {
+            let mut k = self.shared.kernel.lock();
+            assert!(
+                k.sched.alive == 0 && k.sched.current.is_none(),
+                "Sim::run re-entered while already running"
+            );
+            k.sched.runnable.clear();
+            k.sched.finished = vec![false; n];
+            k.sched.poisoned = false;
+            k.sched.alive = n;
+            k.sched.unparkers.clear();
+            for _ in 0..n {
+                let p = Parker::new();
+                k.sched.unparkers.push(p.unparker().clone());
+                parkers.push(p);
+            }
+            for tid in 0..n {
+                k.sched.runnable.insert(tid);
+            }
+            dispatch(&mut k);
+        }
+        let mut handles = Vec::with_capacity(n);
+        for (tid, (program, parker)) in programs.into_iter().zip(parkers).enumerate() {
+            let shared = Arc::clone(&self.shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sim-{tid}"))
+                    .stack_size(512 * 1024)
+                    .spawn(move || {
+                        let ctx = SimCtx {
+                            shared,
+                            tid,
+                            parker,
+                        };
+                        ctx.wait_granted();
+                        let result = panic::catch_unwind(AssertUnwindSafe(|| program(&ctx)));
+                        ctx.retire(result.is_err());
+                        if let Err(p) = result {
+                            panic::resume_unwind(p);
+                        }
+                    })
+                    .expect("spawn sim thread"),
+            );
+        }
+        // Prefer propagating the original panic over secondary
+        // poisoned-simulation panics raised by bystander threads.
+        let mut real_panic = None;
+        let mut poison_panic = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                if p.is::<SimPoisoned>() {
+                    poison_panic.get_or_insert(p);
+                } else {
+                    real_panic.get_or_insert(p);
+                }
+            }
+        }
+        if let Some(p) = real_panic.or(poison_panic) {
+            panic::resume_unwind(p);
+        }
+    }
+
+    /// Virtual time at present.
+    pub fn now(&self) -> SimTime {
+        self.shared.kernel.lock().now()
+    }
+}
+
+/// A boxed per-thread program.
+pub type Program = Box<dyn FnOnce(&SimCtx) + Send>;
+
+/// Panic payload used when a thread aborts because another thread poisoned
+/// the simulation; filtered out in favour of the original panic.
+struct SimPoisoned;
+
+/// Hand the run token to the next runnable thread, advancing the event loop
+/// as needed. Caller must have cleared `current`.
+fn dispatch(k: &mut Kernel) {
+    debug_assert!(k.sched.current.is_none());
+    loop {
+        if let Some(next) = k.sched.runnable.pop_first() {
+            k.sched.current = Some(next);
+            k.sched.unparkers[next].unpark();
+            return;
+        }
+        if k.sched.alive == 0 {
+            return;
+        }
+        if !k.step() {
+            k.sched.poisoned = true;
+            let alive = k.sched.alive;
+            let blocked: Vec<usize> = (0..k.sched.finished.len())
+                .filter(|&t| !k.sched.finished[t])
+                .collect();
+            for u in &k.sched.unparkers {
+                u.unpark();
+            }
+            panic!(
+                "detsim: deadlock — {alive} sim thread(s) blocked at {} with no pending events; \
+                 blocked threads {blocked:?}; active flows {}; busy fifos {:?}",
+                k.now(),
+                k.active_flows(),
+                k.busy_fifos(),
+            );
+        }
+    }
+}
+
+/// Per-thread handle into the simulation. Passed to each program; provides
+/// virtual-clock blocking primitives.
+pub struct SimCtx {
+    shared: Arc<SimShared>,
+    tid: usize,
+    parker: Parker,
+}
+
+impl SimCtx {
+    /// This thread's id, `0..n`.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.kernel.lock().now()
+    }
+
+    /// Mutate the kernel (start flows, submit FIFO tasks, build hardware…).
+    /// Runs instantaneously in virtual time.
+    pub fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        f(&mut self.shared.kernel.lock())
+    }
+
+    /// Block this thread for `d` of virtual time.
+    pub fn delay(&self, d: SimDuration) {
+        let c = self.with_kernel(|k| k.completion_in(d));
+        self.wait(&c);
+    }
+
+    /// Block until `c` completes. Returns immediately if it already has.
+    pub fn wait(&self, c: &Completion) {
+        let mut k = self.shared.kernel.lock();
+        loop {
+            if c.is_done() {
+                return;
+            }
+            k.add_waiter(c, self.tid);
+            k = self.block(k);
+        }
+    }
+
+    /// Block until every one of `cs` completes.
+    pub fn wait_all(&self, cs: &[Completion]) {
+        for c in cs {
+            self.wait(c);
+        }
+    }
+
+    /// Block until at least one of `cs` completes; returns the index of the
+    /// first (lowest-index) completed one. Panics on an empty slice.
+    pub fn wait_any(&self, cs: &[Completion]) -> usize {
+        assert!(!cs.is_empty(), "wait_any on empty slice");
+        let mut k = self.shared.kernel.lock();
+        loop {
+            if let Some(i) = cs.iter().position(|c| c.is_done()) {
+                return i;
+            }
+            for c in cs {
+                k.add_waiter(c, self.tid);
+            }
+            k = self.block(k);
+        }
+    }
+
+    /// Yield the token; other runnable threads (and due events) run before
+    /// this thread resumes at the same virtual instant.
+    pub fn yield_now(&self) {
+        let c = self.with_kernel(|k| k.completion_in(SimDuration::ZERO));
+        self.wait(&c);
+    }
+
+    /// Give up the token, returning a re-acquired kernel guard once the token
+    /// is granted back.
+    fn block<'a>(&'a self, mut guard: MutexGuard<'a, Kernel>) -> MutexGuard<'a, Kernel> {
+        debug_assert_eq!(guard.sched.current, Some(self.tid));
+        guard.sched.current = None;
+        dispatch(&mut guard);
+        drop(guard);
+        self.wait_granted_inner()
+    }
+
+    fn wait_granted(&self) {
+        drop(self.wait_granted_inner());
+    }
+
+    fn wait_granted_inner(&self) -> MutexGuard<'_, Kernel> {
+        loop {
+            self.parker.park();
+            let g = self.shared.kernel.lock();
+            if g.sched.poisoned {
+                // Avoid double-panicking threads that are already unwinding.
+                if !std::thread::panicking() {
+                    drop(g);
+                    panic::panic_any(SimPoisoned);
+                }
+                return g;
+            }
+            if g.sched.current == Some(self.tid) {
+                return g;
+            }
+            drop(g);
+        }
+    }
+
+    /// Mark this thread finished and hand off the token.
+    fn retire(&self, panicked: bool) {
+        let mut k = self.shared.kernel.lock();
+        if k.sched.finished[self.tid] {
+            return;
+        }
+        k.sched.finished[self.tid] = true;
+        k.sched.runnable.remove(&self.tid);
+        k.sched.alive -= 1;
+        if k.sched.current == Some(self.tid) {
+            k.sched.current = None;
+        }
+        if panicked {
+            k.sched.poisoned = true;
+            for u in &k.sched.unparkers {
+                u.unpark();
+            }
+            return;
+        }
+        dispatch(&mut k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn threads_interleave_by_virtual_time() {
+        let mut sim = Sim::new();
+        let log: Arc<Mutex<Vec<(usize, u64)>>> = Arc::new(Mutex::new(vec![]));
+        let l = Arc::clone(&log);
+        sim.run(3, move |ctx| {
+            // thread 0 sleeps 30us, thread 1 sleeps 20us, thread 2 sleeps 10us
+            let d = SimDuration::from_micros(30 - 10 * ctx.tid() as u64);
+            ctx.delay(d);
+            l.lock().push((ctx.tid(), ctx.now().picos()));
+        });
+        let log = log.lock();
+        assert_eq!(
+            *log,
+            vec![
+                (2, SimDuration::from_micros(10).picos()),
+                (1, SimDuration::from_micros(20).picos()),
+                (0, SimDuration::from_micros(30).picos()),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_wakeups_resolve_in_tid_order() {
+        for _ in 0..10 {
+            let mut sim = Sim::new();
+            let log: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(vec![]));
+            let l = Arc::clone(&log);
+            sim.run(4, move |ctx| {
+                ctx.delay(SimDuration::from_micros(5));
+                l.lock().push(ctx.tid());
+            });
+            assert_eq!(*log.lock(), vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn wait_on_completion_fired_by_other_thread() {
+        let mut sim = Sim::new();
+        let c = sim.with_kernel(|k| k.completion());
+        let c2 = c.clone();
+        let done_at = Arc::new(AtomicUsize::new(0));
+        let d2 = Arc::clone(&done_at);
+        sim.run(2, move |ctx| {
+            if ctx.tid() == 0 {
+                ctx.wait(&c2);
+                d2.store(ctx.now().picos() as usize, Ordering::SeqCst);
+            } else {
+                ctx.delay(SimDuration::from_micros(42));
+                let c3 = c2.clone();
+                ctx.with_kernel(move |k| k.complete(&c3));
+            }
+        });
+        assert_eq!(
+            done_at.load(Ordering::SeqCst) as u64,
+            SimDuration::from_micros(42).picos()
+        );
+    }
+
+    #[test]
+    fn wait_any_returns_first_done() {
+        let mut sim = Sim::new();
+        let winner = Arc::new(AtomicUsize::new(usize::MAX));
+        let w = Arc::clone(&winner);
+        sim.run(1, move |ctx| {
+            let (a, b) = ctx.with_kernel(|k| {
+                (
+                    k.completion_in(SimDuration::from_micros(50)),
+                    k.completion_in(SimDuration::from_micros(10)),
+                )
+            });
+            let i = ctx.wait_any(&[a, b]);
+            w.store(i, Ordering::SeqCst);
+        });
+        assert_eq!(winner.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wait_all_waits_for_latest() {
+        let mut sim = Sim::new();
+        let t = Arc::new(AtomicUsize::new(0));
+        let t2 = Arc::clone(&t);
+        sim.run(1, move |ctx| {
+            let cs: Vec<_> = (1..=5)
+                .map(|i| ctx.with_kernel(|k| k.completion_in(SimDuration::from_micros(i * 10))))
+                .collect();
+            ctx.wait_all(&cs);
+            t2.store(ctx.now().picos() as usize, Ordering::SeqCst);
+        });
+        assert_eq!(
+            t.load(Ordering::SeqCst) as u64,
+            SimDuration::from_micros(50).picos()
+        );
+    }
+
+    #[test]
+    fn determinism_many_threads() {
+        let run_once = || {
+            let mut sim = Sim::new();
+            let log: Arc<Mutex<Vec<(usize, u64)>>> = Arc::new(Mutex::new(vec![]));
+            let l = Arc::clone(&log);
+            sim.run(16, move |ctx| {
+                for round in 0..20u64 {
+                    let d = SimDuration::from_nanos(((ctx.tid() as u64 * 7 + round * 13) % 29) + 1);
+                    ctx.delay(d);
+                }
+                l.lock().push((ctx.tid(), ctx.now().picos()));
+            });
+            let v = log.lock().clone();
+            v
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "simulation must be deterministic");
+    }
+
+    #[test]
+    fn virtual_time_persists_across_runs() {
+        let mut sim = Sim::new();
+        sim.run(1, |ctx| ctx.delay(SimDuration::from_micros(10)));
+        sim.run(1, |ctx| ctx.delay(SimDuration::from_micros(5)));
+        assert_eq!(sim.now().picos(), SimDuration::from_micros(15).picos());
+    }
+
+    #[test]
+    fn zero_threads_is_a_noop() {
+        let mut sim = Sim::new();
+        sim.run_programs(vec![]);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut sim = Sim::new();
+        let c = sim.with_kernel(|k| k.completion());
+        sim.run_programs(vec![Box::new(move |ctx: &SimCtx| {
+            ctx.wait(&c); // nobody will ever complete this
+        })]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn thread_panic_propagates() {
+        let mut sim = Sim::new();
+        sim.run(2, |ctx| {
+            if ctx.tid() == 1 {
+                panic!("boom");
+            }
+            ctx.delay(SimDuration::from_micros(100));
+        });
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let mut sim = Sim::new();
+        let log: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(vec![]));
+        let l = Arc::clone(&log);
+        sim.run(2, move |ctx| {
+            for _ in 0..3 {
+                l.lock().push(ctx.tid());
+                ctx.yield_now();
+            }
+        });
+        let v = log.lock().clone();
+        assert_eq!(v, vec![0, 1, 0, 1, 0, 1]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the fair-share flow network: conservation, fairness,
+//! monotonicity, and determinism under randomized workloads.
+
+use detsim::{Kernel, SimDuration};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Deterministic xorshift for workload generation inside proptest cases.
+fn rng(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// No link ever runs above capacity, and total delivered bytes match
+    /// the load integral, for arbitrary multi-link flow mixes.
+    #[test]
+    fn prop_capacity_and_conservation(seed in 0u64..10_000, nflows in 1usize..80) {
+        let mut r = rng(seed);
+        let mut k = Kernel::new();
+        let links: Vec<_> = (0..4)
+            .map(|i| {
+                k.add_link(
+                    format!("l{i}"),
+                    1e9 * (1.0 + (r() % 10) as f64),
+                    SimDuration::from_nanos(r() % 3000),
+                )
+            })
+            .collect();
+        for _ in 0..nflows {
+            let bytes = 1 + r() % 8_000_000;
+            let at = SimDuration::from_nanos(r() % 4_000_000);
+            // path of 1-3 distinct links
+            let mut path = vec![links[(r() % 4) as usize]];
+            if r().is_multiple_of(2) {
+                let l = links[(r() % 4) as usize];
+                if !path.contains(&l) {
+                    path.push(l);
+                }
+            }
+            k.schedule_in(at, move |k| {
+                k.start_flow(&path, bytes, |_| {});
+            });
+        }
+        k.run_to_completion();
+        for &l in &links {
+            prop_assert!(
+                k.link_peak_utilization(l) <= 1.0 + 1e-9,
+                "link over capacity: {}",
+                k.link_peak_utilization(l)
+            );
+            let busy = k.link_busy_bytes(l);
+            let delivered = k.link_delivered(l) as f64;
+            prop_assert!(
+                (busy - delivered).abs() <= delivered * 1e-6 + 1.0,
+                "integral {busy} != delivered {delivered}"
+            );
+        }
+        prop_assert_eq!(k.active_flows(), 0);
+    }
+
+    /// Two identical flows arriving together finish together (fairness).
+    #[test]
+    fn prop_equal_flows_finish_together(bytes in 1_000u64..5_000_000, n in 2usize..12) {
+        let mut k = Kernel::new();
+        let l = k.add_link("l", 2e9, SimDuration::from_micros(1));
+        let ends: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        for e in &ends {
+            let e = Arc::clone(e);
+            k.start_flow(&[l], bytes, move |k| {
+                e.store(k.now().picos(), Ordering::SeqCst);
+            });
+        }
+        k.run_to_completion();
+        let first = ends[0].load(Ordering::SeqCst);
+        for e in &ends {
+            let v = e.load(Ordering::SeqCst);
+            prop_assert!(v > 0);
+            // picosecond rounding can separate them by a hair
+            prop_assert!(v.abs_diff(first) <= n as u64);
+        }
+        // and the shared link serves them at exactly cap/n each
+        let expect = bytes as f64 / (2e9 / n as f64);
+        let got = first as f64 / 1e12 - 1e-6;
+        prop_assert!((got - expect).abs() < expect * 1e-6 + 1e-9);
+    }
+
+    /// Adding extra background load never makes a probe flow finish sooner.
+    #[test]
+    fn prop_contention_is_monotone(seed in 0u64..5_000, extra in 0usize..20) {
+        let run = |extra: usize| {
+            let mut r = rng(seed);
+            let mut k = Kernel::new();
+            let l = k.add_link("l", 1e9, SimDuration::ZERO);
+            let probe_end = Arc::new(AtomicU64::new(0));
+            let pe = Arc::clone(&probe_end);
+            k.start_flow(&[l], 2_000_000, move |k| {
+                pe.store(k.now().picos(), Ordering::SeqCst);
+            });
+            for _ in 0..extra {
+                let bytes = 1 + r() % 1_000_000;
+                let at = SimDuration::from_nanos(r() % 1_000_000);
+                k.schedule_in(at, move |k| k.start_flow(&[l], bytes, |_| {}));
+            }
+            k.run_to_completion();
+            probe_end.load(Ordering::SeqCst)
+        };
+        let alone = run(0);
+        let loaded = run(extra);
+        prop_assert!(loaded >= alone, "background load sped the probe up: {alone} -> {loaded}");
+    }
+
+    /// Identical workloads produce bit-identical completion schedules.
+    #[test]
+    fn prop_flow_schedule_deterministic(seed in 0u64..5_000) {
+        let run = || {
+            let mut r = rng(seed);
+            let mut k = Kernel::new();
+            let a = k.add_link("a", 3e9, SimDuration::from_nanos(500));
+            let b = k.add_link("b", 1e9, SimDuration::from_nanos(100));
+            let log: Arc<parking_lot::Mutex<Vec<(u64, u64)>>> =
+                Arc::new(parking_lot::Mutex::new(Vec::new()));
+            for i in 0..40u64 {
+                let bytes = 1 + r() % 3_000_000;
+                let at = SimDuration::from_nanos(r() % 2_000_000);
+                let two = r().is_multiple_of(2);
+                let log = Arc::clone(&log);
+                k.schedule_in(at, move |k| {
+                    let path: Vec<_> = if two { vec![a, b] } else { vec![b] };
+                    k.start_flow(&path, bytes, move |k| {
+                        log.lock().push((i, k.now().picos()));
+                    });
+                });
+            }
+            k.run_to_completion();
+            let v = log.lock().clone();
+            v
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

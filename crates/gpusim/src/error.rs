@@ -1,0 +1,68 @@
+//! Error type for the simulated CUDA runtime.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated CUDA runtime. Mirrors the CUDA error
+/// codes the paper's library must handle (allocation failure, missing peer
+/// capability); programming errors (invalid transfer shapes) panic instead,
+/// as they would abort a real CUDA application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GpuError {
+    /// Device memory exhausted.
+    OutOfMemory {
+        /// Global device id.
+        device: usize,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes already allocated.
+        in_use: u64,
+        /// Device capacity.
+        limit: u64,
+    },
+    /// `cudaDeviceEnablePeerAccess` on a pair that cannot be peers.
+    PeerAccessUnavailable {
+        /// First device.
+        a: usize,
+        /// Second device.
+        b: usize,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                device,
+                requested,
+                in_use,
+                limit,
+            } => write!(
+                f,
+                "out of memory on device {device}: requested {requested} B with {in_use}/{limit} B in use"
+            ),
+            GpuError::PeerAccessUnavailable { a, b } => {
+                write!(f, "peer access unavailable between devices {a} and {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = GpuError::OutOfMemory {
+            device: 2,
+            requested: 10,
+            in_use: 5,
+            limit: 8,
+        };
+        assert!(e.to_string().contains("device 2"));
+        let p = GpuError::PeerAccessUnavailable { a: 1, b: 7 };
+        assert!(p.to_string().contains("1 and 7"));
+    }
+}

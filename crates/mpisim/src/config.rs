@@ -1,0 +1,61 @@
+//! Cost-model constants for the simulated MPI library.
+
+use detsim::SimDuration;
+
+/// Fixed costs and rates of the simulated MPI implementation. Defaults model
+/// IBM Spectrum MPI on Summit at the fidelity the paper's effects need.
+#[derive(Clone, Debug)]
+pub struct MpiCostModel {
+    /// CPU time the calling thread spends in any MPI call
+    /// (`MPI_Isend`/`MPI_Irecv` posting, matching).
+    pub call_overhead: SimDuration,
+    /// Extra handshake latency for messages above the eager threshold
+    /// (rendezvous protocol round trip).
+    pub rendezvous_latency: SimDuration,
+    /// Messages at or below this size skip the rendezvous handshake.
+    pub eager_threshold: u64,
+    /// Bandwidth of one rank's shared-memory progress engine: intra-node
+    /// host-to-host messages from a rank are pumped through its engine at
+    /// this rate and contend with each other. This is what makes staged
+    /// exchange improve as ranks-per-node grows (paper Fig. 12a).
+    pub shm_bandwidth: f64,
+    /// Latency of the shared-memory path.
+    pub shm_latency: SimDuration,
+    /// Latency of a typed out-of-band message (setup metadata, IPC handles).
+    pub obj_latency: SimDuration,
+    /// Per-hop latency of the barrier's reduction tree:
+    /// `barrier cost = ceil(log2 n) * barrier_hop`.
+    pub barrier_hop: SimDuration,
+    /// Per-message overhead of a CUDA-aware transfer: the library's internal
+    /// device synchronization and per-message IPC/pipelining setup (the
+    /// paper observes `cudaDeviceSynchronize` calls and default-stream use).
+    pub cuda_aware_overhead: SimDuration,
+}
+
+impl Default for MpiCostModel {
+    fn default() -> Self {
+        MpiCostModel {
+            call_overhead: SimDuration::from_micros(1),
+            rendezvous_latency: SimDuration::from_micros(3),
+            eager_threshold: 8192,
+            shm_bandwidth: 10e9,
+            shm_latency: SimDuration::from_nanos(600),
+            obj_latency: SimDuration::from_micros(2),
+            barrier_hop: SimDuration::from_micros(3),
+            cuda_aware_overhead: SimDuration::from_micros(12),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MpiCostModel::default();
+        assert!(c.shm_bandwidth > 1e9);
+        assert!(c.eager_threshold > 0);
+        assert!(c.cuda_aware_overhead > c.call_overhead);
+    }
+}

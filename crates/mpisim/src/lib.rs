@@ -1,0 +1,32 @@
+//! # mpisim — a simulated MPI library
+//!
+//! Ranks run as deterministic cooperative threads ([`run_world`] spawns one
+//! per rank); each gets a [`RankCtx`] with the MPI subset the paper's
+//! stencil library needs:
+//!
+//! * non-blocking point-to-point ([`RankCtx::isend`] / [`RankCtx::irecv`] /
+//!   [`RankCtx::wait_all`]) with tag matching and rendezvous latency;
+//! * three transports chosen by buffer placement:
+//!   **shared-memory** (intra-node host buffers; pumped through the sending
+//!   rank's progress engine — more ranks per node ⇒ more parallel pumping,
+//!   the staged-exchange effect of paper Fig. 12a),
+//!   **NIC** (inter-node host buffers; all of a node's traffic shares its
+//!   injection/ejection bandwidth), and
+//!   **CUDA-aware** (device buffers passed straight to MPI; reproduces the
+//!   default-stream serialization and per-message synchronization the paper
+//!   profiles in §IV-D);
+//! * `MPI_Barrier`, `MPI_Wtime`;
+//! * a typed out-of-band channel for setup metadata and `cudaIpc` handles
+//!   ([`RankCtx::send_obj`] / [`RankCtx::recv_obj`]).
+
+#![warn(missing_docs)]
+
+mod config;
+mod rank;
+mod transport;
+mod world;
+
+pub use config::MpiCostModel;
+pub use rank::RankCtx;
+pub use transport::Request;
+pub use world::{run_world, WorldConfig, WorldReport};

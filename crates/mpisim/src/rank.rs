@@ -1,0 +1,199 @@
+//! The per-rank API: what a simulated MPI rank program sees.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use detsim::{Completion, SimCtx, SimDuration};
+use gpusim::{Buffer, GpuMachine};
+
+use crate::transport::{MpiState, Request};
+
+/// Handle given to each rank program: its identity, its GPUs, and the MPI
+/// operations. Mirrors the subset of MPI + CUDA context the paper's library
+/// uses.
+pub struct RankCtx<'a> {
+    pub(crate) sim: &'a SimCtx,
+    pub(crate) st: Arc<MpiState>,
+    pub(crate) rank: usize,
+}
+
+impl<'a> RankCtx<'a> {
+    /// This rank's id in the world communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size (total ranks).
+    pub fn size(&self) -> usize {
+        self.st.num_ranks
+    }
+
+    /// Node index this rank runs on.
+    pub fn node(&self) -> usize {
+        self.st.node_of_rank(self.rank)
+    }
+
+    /// Ranks co-located on each node.
+    pub fn ranks_per_node(&self) -> usize {
+        self.st.ranks_per_node
+    }
+
+    /// Whether the MPI library is CUDA-aware in this run.
+    pub fn cuda_aware(&self) -> bool {
+        self.st.cuda_aware
+    }
+
+    /// Global device ids of the GPUs this rank controls (GPUs of its node
+    /// split evenly among the node's ranks).
+    pub fn gpus(&self) -> Vec<usize> {
+        let gpn = self.st.machine.gpus_per_node();
+        let rpn = self.st.ranks_per_node;
+        assert!(
+            gpn.is_multiple_of(rpn),
+            "gpus per node ({gpn}) must divide evenly among ranks per node ({rpn})"
+        );
+        let per_rank = gpn / rpn;
+        let node = self.node();
+        let slot = self.rank % rpn;
+        (0..per_rank)
+            .map(|i| self.st.machine.device_at(node, slot * per_rank + i))
+            .collect()
+    }
+
+    /// The simulated GPU machine.
+    pub fn machine(&self) -> &GpuMachine {
+        &self.st.machine
+    }
+
+    /// The underlying simulation context (delays, waits, kernel access).
+    pub fn sim(&self) -> &SimCtx {
+        self.sim
+    }
+
+    /// `MPI_Wtime`: virtual seconds since simulation start.
+    pub fn wtime(&self) -> f64 {
+        self.sim.now().as_secs_f64()
+    }
+
+    // ----- point-to-point ---------------------------------------------------
+
+    /// `MPI_Isend`: post a non-blocking send of `buf[off..off+len]`.
+    pub fn isend(&self, buf: &Buffer, off: u64, len: u64, dst: usize, tag: u64) -> Request {
+        self.sim.delay(self.st.cfg.call_overhead);
+        self.sim
+            .with_kernel(|k| self.st.isend(k, self.rank, dst, tag, buf, off, len))
+    }
+
+    /// `MPI_Irecv`: post a non-blocking receive into `buf[off..off+len]`.
+    pub fn irecv(&self, buf: &Buffer, off: u64, len: u64, src: usize, tag: u64) -> Request {
+        self.sim.delay(self.st.cfg.call_overhead);
+        self.sim
+            .with_kernel(|k| self.st.irecv(k, self.rank, src, tag, buf, off, len))
+    }
+
+    /// `MPI_Wait`.
+    pub fn wait(&self, req: &Request) {
+        self.sim.wait(&req.0);
+    }
+
+    /// `MPI_Waitall`.
+    pub fn wait_all(&self, reqs: &[Request]) {
+        for r in reqs {
+            self.wait(r);
+        }
+    }
+
+    /// Wait until at least one of `completions` fires (drive state
+    /// machines).
+    pub fn wait_any_completion(&self, completions: &[Completion]) -> usize {
+        self.sim.wait_any(completions)
+    }
+
+    /// Blocking send (Isend + Wait).
+    pub fn send(&self, buf: &Buffer, off: u64, len: u64, dst: usize, tag: u64) {
+        let r = self.isend(buf, off, len, dst, tag);
+        self.wait(&r);
+    }
+
+    /// Blocking receive (Irecv + Wait).
+    pub fn recv(&self, buf: &Buffer, off: u64, len: u64, src: usize, tag: u64) {
+        let r = self.irecv(buf, off, len, src, tag);
+        self.wait(&r);
+    }
+
+    // ----- typed out-of-band messages ---------------------------------------
+
+    /// Send a small typed setup message (subdomain metadata, IPC handles) to
+    /// `dst`. Models an eager small MPI message without byte serialization.
+    pub fn send_obj<T: Any + Send>(&self, dst: usize, tag: u64, value: T) {
+        self.sim.delay(self.st.cfg.call_overhead);
+        self.sim
+            .with_kernel(|k| self.st.send_obj(k, self.rank, dst, tag, Box::new(value)));
+    }
+
+    /// Receive a typed setup message from `src`. Blocks until it arrives;
+    /// panics if the arriving payload has a different type.
+    pub fn recv_obj<T: Any + Send>(&self, src: usize, tag: u64) -> T {
+        self.sim.delay(self.st.cfg.call_overhead);
+        loop {
+            let got = self
+                .sim
+                .with_kernel(|k| self.st.try_recv_obj(k, self.rank, src, tag));
+            match got {
+                Ok(obj) => {
+                    return *obj
+                        .downcast::<T>()
+                        .unwrap_or_else(|_| panic!("recv_obj: unexpected payload type"));
+                }
+                Err(arrival) => self.sim.wait(&arrival),
+            }
+        }
+    }
+
+    // ----- collectives -------------------------------------------------------
+
+    /// `MPI_Barrier` over the world communicator.
+    pub fn barrier(&self) {
+        self.sim.delay(self.st.cfg.call_overhead);
+        let n = self.st.num_ranks;
+        if n == 1 {
+            return;
+        }
+        let release = self.sim.with_kernel(|k| {
+            let mut b = self.st.barrier.lock();
+            b.arrived += 1;
+            let rel = b.release.clone();
+            if b.arrived == n {
+                b.arrived = 0;
+                b.release = k.completion();
+                drop(b);
+                let hops = (n as f64).log2().ceil() as u64;
+                let d = SimDuration::from_picos(self.st.cfg.barrier_hop.picos() * hops.max(1));
+                let rel2 = rel.clone();
+                k.schedule_in(d, move |k| k.complete(&rel2));
+            }
+            rel
+        });
+        self.sim.wait(&release);
+    }
+
+    /// Gather one typed value from every rank onto all ranks, in rank order.
+    /// Convenience for small-scale setup exchanges (O(n) messages per rank —
+    /// fine at setup time; not used on hot paths).
+    pub fn all_gather_obj<T: Any + Send + Clone>(&self, tag: u64, value: T) -> Vec<T> {
+        let n = self.st.num_ranks;
+        for dst in 0..n {
+            if dst != self.rank {
+                self.send_obj(dst, tag, value.clone());
+            }
+        }
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        out[self.rank] = Some(value);
+        for (src, slot) in out.iter_mut().enumerate() {
+            if src != self.rank {
+                *slot = Some(self.recv_obj::<T>(src, tag));
+            }
+        }
+        out.into_iter().map(|v| v.expect("gathered")).collect()
+    }
+}

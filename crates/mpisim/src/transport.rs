@@ -1,0 +1,382 @@
+//! Message matching and the three transports: shared-memory (intra-node),
+//! NIC (inter-node), and CUDA-aware (device buffers passed straight to MPI).
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use detsim::{Completion, Kernel, LinkId, SimDuration};
+use gpusim::{Buffer, GpuMachine, Placement};
+use parking_lot::Mutex;
+
+use crate::config::MpiCostModel;
+
+/// A pending non-blocking operation. Wait on it via
+/// [`RankCtx::wait`](crate::RankCtx::wait).
+#[derive(Clone, Debug)]
+pub struct Request(pub(crate) Completion);
+
+impl Request {
+    /// Whether the operation has completed.
+    pub fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+
+    /// The underlying completion (for mixing with stream events in
+    /// `wait_any`-style polling).
+    pub fn completion(&self) -> &Completion {
+        &self.0
+    }
+}
+
+type MatchKey = (usize, usize, u64); // (dst, src, tag)
+
+struct PendingMsg {
+    buf: Buffer,
+    off: u64,
+    len: u64,
+    done: Completion,
+    rank: usize,
+}
+
+#[derive(Default)]
+struct MatchQueue {
+    sends: VecDeque<PendingMsg>,
+    recvs: VecDeque<PendingMsg>,
+}
+
+#[derive(Default)]
+struct ObjQueue {
+    items: VecDeque<Box<dyn Any + Send>>,
+    waiters: VecDeque<Completion>,
+}
+
+pub(crate) struct BarrierState {
+    pub arrived: usize,
+    pub release: Completion,
+}
+
+/// Shared state of the simulated MPI library.
+pub(crate) struct MpiState {
+    pub machine: GpuMachine,
+    pub cfg: MpiCostModel,
+    pub cuda_aware: bool,
+    pub num_ranks: usize,
+    pub ranks_per_node: usize,
+    /// Per-rank shared-memory progress-engine link: all of a rank's
+    /// intra-node host messages flow through it.
+    pub shm_link: Vec<LinkId>,
+    /// Per-rank trace track for MPI spans.
+    pub rank_track: Vec<detsim::trace::TrackId>,
+    queues: Mutex<HashMap<MatchKey, MatchQueue>>,
+    objs: Mutex<HashMap<MatchKey, ObjQueue>>,
+    pub barrier: Mutex<BarrierState>,
+}
+
+impl MpiState {
+    pub fn new(
+        k: &mut Kernel,
+        machine: GpuMachine,
+        cfg: MpiCostModel,
+        cuda_aware: bool,
+        ranks_per_node: usize,
+    ) -> Arc<MpiState> {
+        assert!(ranks_per_node >= 1);
+        let num_ranks = machine.num_nodes() * ranks_per_node;
+        let mut shm_link = Vec::with_capacity(num_ranks);
+        let mut rank_track = Vec::with_capacity(num_ranks);
+        for r in 0..num_ranks {
+            shm_link.push(k.add_link(format!("r{r}.shm"), cfg.shm_bandwidth, cfg.shm_latency));
+            rank_track.push(k.trace.add_track(format!("rank{r} mpi")));
+        }
+        let release = k.completion();
+        Arc::new(MpiState {
+            machine,
+            cfg,
+            cuda_aware,
+            num_ranks,
+            ranks_per_node,
+            shm_link,
+            rank_track,
+            queues: Mutex::new(HashMap::new()),
+            objs: Mutex::new(HashMap::new()),
+            barrier: Mutex::new(BarrierState {
+                arrived: 0,
+                release,
+            }),
+        })
+    }
+
+    pub fn node_of_rank(&self, r: usize) -> usize {
+        r / self.ranks_per_node
+    }
+
+    /// Post a non-blocking send. Matching (and the transfer) happens when
+    /// the peer's receive is also posted.
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI signature
+    pub fn isend(
+        &self,
+        k: &mut Kernel,
+        src_rank: usize,
+        dst_rank: usize,
+        tag: u64,
+        buf: &Buffer,
+        off: u64,
+        len: u64,
+    ) -> Request {
+        assert!(off + len <= buf.len(), "isend region out of range");
+        assert!(dst_rank < self.num_ranks, "isend to invalid rank {dst_rank}");
+        let done = k.completion();
+        let msg = PendingMsg {
+            buf: buf.clone(),
+            off,
+            len,
+            done: done.clone(),
+            rank: src_rank,
+        };
+        let matched = {
+            let mut q = self.queues.lock();
+            let entry = q.entry((dst_rank, src_rank, tag)).or_default();
+            match entry.recvs.pop_front() {
+                Some(recv) => Ok((msg, recv)),
+                None => {
+                    entry.sends.push_back(msg);
+                    Err(())
+                }
+            }
+        };
+        if let Ok((send, recv)) = matched {
+            self.start_transfer(k, send, recv);
+        }
+        Request(done)
+    }
+
+    /// Post a non-blocking receive.
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI signature
+    pub fn irecv(
+        &self,
+        k: &mut Kernel,
+        dst_rank: usize,
+        src_rank: usize,
+        tag: u64,
+        buf: &Buffer,
+        off: u64,
+        len: u64,
+    ) -> Request {
+        assert!(off + len <= buf.len(), "irecv region out of range");
+        assert!(src_rank < self.num_ranks, "irecv from invalid rank {src_rank}");
+        let done = k.completion();
+        let msg = PendingMsg {
+            buf: buf.clone(),
+            off,
+            len,
+            done: done.clone(),
+            rank: dst_rank,
+        };
+        let matched = {
+            let mut q = self.queues.lock();
+            let entry = q.entry((dst_rank, src_rank, tag)).or_default();
+            match entry.sends.pop_front() {
+                Some(send) => Ok((send, msg)),
+                None => {
+                    entry.recvs.push_back(msg);
+                    Err(())
+                }
+            }
+        };
+        if let Ok((send, recv)) = matched {
+            self.start_transfer(k, send, recv);
+        }
+        Request(done)
+    }
+
+    fn start_transfer(&self, k: &mut Kernel, send: PendingMsg, recv: PendingMsg) {
+        assert!(
+            recv.len >= send.len,
+            "receive buffer region ({}) smaller than message ({})",
+            recv.len,
+            send.len
+        );
+        let device_involved = send.buf.device().is_some() || recv.buf.device().is_some();
+        if device_involved {
+            assert!(
+                self.cuda_aware,
+                "device buffer passed to MPI but CUDA-aware support is disabled"
+            );
+            self.cuda_aware_transfer(k, send, recv);
+        } else {
+            self.host_transfer(k, send, recv);
+        }
+    }
+
+    fn protocol_latency(&self, bytes: u64) -> SimDuration {
+        if bytes > self.cfg.eager_threshold {
+            self.cfg.rendezvous_latency
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    fn host_transfer(&self, k: &mut Kernel, send: PendingMsg, recv: PendingMsg) {
+        let (Placement::Host(n1, s1), Placement::Host(n2, s2)) =
+            (send.buf.placement(), recv.buf.placement())
+        else {
+            unreachable!("host_transfer with device buffers");
+        };
+        let fabric = self.machine.fabric();
+        let path = if n1 == n2 {
+            // Shared-memory transport: the sender's progress engine pumps
+            // the bytes; cross-socket copies also ride the X-Bus.
+            let mut p = vec![self.shm_link[send.rank]];
+            p.extend(fabric.node_path(
+                n1,
+                fabric.node_spec().cpu(s1),
+                fabric.node_spec().cpu(s2),
+            ));
+            p
+        } else {
+            fabric.internode_host_path(n1, s1, n2, s2)
+        };
+        let label = if n1 == n2 { "MPI shm" } else { "MPI net" };
+        self.flow_transfer(k, path, self.protocol_latency(send.len), send, recv, label);
+    }
+
+    fn flow_transfer(
+        &self,
+        k: &mut Kernel,
+        path: Vec<LinkId>,
+        extra_latency: SimDuration,
+        send: PendingMsg,
+        recv: PendingMsg,
+        label: &'static str,
+    ) {
+        let bytes = send.len;
+        let track = self.rank_track[send.rank];
+        let start = k.now();
+        k.schedule_in(extra_latency, move |k| {
+            k.start_flow(&path, bytes, move |k| {
+                recv.buf.copy_from(recv.off, &send.buf, send.off, bytes);
+                k.trace
+                    .record(track, format!("{label} {bytes}B"), "mpi", start, k.now());
+                k.complete(&send.done);
+                k.complete(&recv.done);
+            });
+        });
+    }
+
+    /// CUDA-aware transfer: the MPI library moves device buffers itself.
+    /// Models the pathology the paper profiles (§IV-D): the library runs its
+    /// transfers through the *default* stream of each involved device (so
+    /// concurrent CUDA-aware messages on one GPU serialize) and performs
+    /// per-message synchronization/setup (`cuda_aware_overhead`).
+    fn cuda_aware_transfer(&self, k: &mut Kernel, send: PendingMsg, recv: PendingMsg) {
+        let fabric = self.machine.fabric();
+        let spec = fabric.node_spec();
+        let comp_of = |b: &Buffer| match b.placement() {
+            Placement::Device(d) => (self.machine.node_of(d), spec.gpu(self.machine.local_of(d))),
+            Placement::Host(n, s) => (n, spec.cpu(s)),
+        };
+        let (n1, c1) = comp_of(&send.buf);
+        let (n2, c2) = comp_of(&recv.buf);
+        let path = if n1 == n2 {
+            fabric.node_path(n1, c1, c2)
+        } else {
+            fabric.internode_comp_path(n1, c1, n2, c2)
+        };
+        let overhead = self.cfg.cuda_aware_overhead + self.protocol_latency(send.len);
+        let bytes = send.len;
+        let track = self.rank_track[send.rank];
+
+        let landed = k.completion();
+        // The transfer occupies the default stream of *every* involved
+        // device until the data lands: the MPI library stages its transfers
+        // through the default stream and synchronizes around them, so all
+        // CUDA-aware messages touching one GPU — sends and receives alike —
+        // serialize. This is the pathology the paper profiles in §IV-D and
+        // the mechanism behind Fig. 12c's degradation at scale: off-node
+        // transfers are slow (NIC shares), and holding the device hostage
+        // for each one prevents any overlap.
+        let src_dev = send.buf.device();
+        let dst_dev = recv.buf.device().filter(|d| Some(*d) != send.buf.device());
+        let primary = src_dev.or(recv.buf.device()).expect("cuda-aware without device");
+
+        let machine = self.machine.clone();
+        let fifo_primary = machine.stream_fifo(machine.default_stream(primary));
+        let landed2 = landed.clone();
+        k.fifo_submit(fifo_primary, move |k, token| {
+            let start = k.now();
+            let landed3 = landed2.clone();
+            k.schedule_in(overhead, move |k| {
+                k.start_flow(&path, bytes, move |k| {
+                    recv.buf.copy_from(recv.off, &send.buf, send.off, bytes);
+                    k.trace.record(
+                        track,
+                        format!("MPI cuda-aware {bytes}B"),
+                        "mpi",
+                        start,
+                        k.now(),
+                    );
+                    k.complete(&send.done);
+                    k.complete(&recv.done);
+                    k.complete(&landed3);
+                });
+            });
+            k.on_complete(&landed2.clone(), move |k| k.fifo_task_done(token));
+        });
+        if let Some(other) = dst_dev {
+            let fifo_other = self.machine.stream_fifo(self.machine.default_stream(other));
+            k.fifo_submit(fifo_other, move |k, token| {
+                k.on_complete(&landed, move |k| k.fifo_task_done(token));
+            });
+        }
+    }
+
+    // ----- out-of-band typed messages (setup metadata, IPC handles) -------
+
+    /// Send a typed value to `(dst, tag)`. Delivery is charged
+    /// `obj_latency`; payloads are not byte-serialized (they model small
+    /// setup messages whose transfer time is latency-dominated).
+    pub fn send_obj(
+        self: &Arc<Self>,
+        k: &mut Kernel,
+        src_rank: usize,
+        dst_rank: usize,
+        tag: u64,
+        obj: Box<dyn Any + Send>,
+    ) {
+        let key = (dst_rank, src_rank, tag);
+        let state = Arc::clone(self);
+        k.schedule_in(self.cfg.obj_latency, move |k| {
+            let mut q = state.objs.lock();
+            let entry = q.entry(key).or_default();
+            entry.items.push_back(obj);
+            if let Some(w) = entry.waiters.pop_front() {
+                drop(q);
+                k.complete(&w);
+            }
+        });
+    }
+
+    /// Take the next typed value from `(src, tag)`, if one has arrived.
+    /// Otherwise returns a completion to wait on before retrying.
+    pub fn try_recv_obj(
+        &self,
+        k: &mut Kernel,
+        dst_rank: usize,
+        src_rank: usize,
+        tag: u64,
+    ) -> Result<Box<dyn Any + Send>, Completion> {
+        let mut q = self.objs.lock();
+        let entry = q.entry((dst_rank, src_rank, tag)).or_default();
+        match entry.items.pop_front() {
+            Some(obj) => Ok(obj),
+            None => {
+                let c = k.completion();
+                entry.waiters.push_back(c.clone());
+                Err(c)
+            }
+        }
+    }
+
+}
+

@@ -1,0 +1,490 @@
+//! The cluster world: builds the whole simulated machine and runs one
+//! program per MPI rank.
+
+use std::sync::Arc;
+
+use detsim::{Program, Sim, SimDuration};
+use gpusim::{DataMode, GpuCostModel, GpuMachine};
+use topo::ClusterSpec;
+
+use crate::config::MpiCostModel;
+use crate::rank::RankCtx;
+use crate::transport::MpiState;
+
+/// Everything needed to stand up a simulated job.
+#[derive(Clone)]
+pub struct WorldConfig {
+    /// The machine.
+    pub cluster: ClusterSpec,
+    /// MPI ranks per node (must divide the node's GPU count).
+    pub ranks_per_node: usize,
+    /// GPU runtime cost model.
+    pub gpu_cost: GpuCostModel,
+    /// MPI cost model.
+    pub mpi_cost: MpiCostModel,
+    /// Whether buffers carry real bytes.
+    pub data_mode: DataMode,
+    /// Whether the MPI library accepts device pointers.
+    pub cuda_aware: bool,
+    /// Record a timeline trace.
+    pub trace: bool,
+}
+
+impl WorldConfig {
+    /// Defaults: full data, no CUDA-aware, no trace.
+    pub fn new(cluster: ClusterSpec, ranks_per_node: usize) -> Self {
+        WorldConfig {
+            cluster,
+            ranks_per_node,
+            gpu_cost: GpuCostModel::default(),
+            mpi_cost: MpiCostModel::default(),
+            data_mode: DataMode::Full,
+            cuda_aware: false,
+            trace: false,
+        }
+    }
+
+    /// Enable/disable CUDA-aware MPI.
+    pub fn cuda_aware(mut self, on: bool) -> Self {
+        self.cuda_aware = on;
+        self
+    }
+
+    /// Set the data mode.
+    pub fn data_mode(mut self, mode: DataMode) -> Self {
+        self.data_mode = mode;
+        self
+    }
+
+    /// Enable timeline tracing.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Total ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.cluster.num_nodes * self.ranks_per_node
+    }
+}
+
+/// Results of a completed run.
+pub struct WorldReport {
+    /// Final virtual time (job duration).
+    pub elapsed: SimDuration,
+    /// Bytes injected into the network by each node (diagnostics).
+    pub nic_injected: Vec<u64>,
+    /// Peak utilization of each node's injection link (diagnostics; > 1.0
+    /// would indicate a flow-model bug).
+    pub nic_peak_util: Vec<f64>,
+    /// Load-integral bytes for each node's injection link (diagnostics).
+    pub nic_busy_bytes: Vec<f64>,
+    /// Number of simulator events executed (diagnostics).
+    pub executed_events: u64,
+    /// Chrome trace JSON, if tracing was enabled.
+    pub trace_json: Option<String>,
+    /// ASCII timeline, if tracing was enabled.
+    pub trace_ascii: Option<String>,
+}
+
+/// Run `program` once per rank on a freshly built world. Blocks until every
+/// rank returns; returns timing and (optionally) trace output.
+///
+/// The program receives a [`RankCtx`]; share results out through captured
+/// `Arc<Mutex<..>>` state.
+pub fn run_world<F>(config: WorldConfig, program: F) -> WorldReport
+where
+    F: Fn(&RankCtx) + Send + Sync + 'static,
+{
+    let num_ranks = config.num_ranks();
+    assert!(num_ranks > 0, "world with zero ranks");
+    assert!(
+        config.cluster.node.num_gpus().is_multiple_of(config.ranks_per_node),
+        "ranks per node ({}) must divide GPUs per node ({})",
+        config.ranks_per_node,
+        config.cluster.node.num_gpus()
+    );
+    let mut sim = Sim::new();
+    let st = sim.with_kernel(|k| {
+        if config.trace {
+            k.trace.enable();
+        }
+        let machine = GpuMachine::new(
+            k,
+            config.cluster.clone(),
+            config.gpu_cost.clone(),
+            config.data_mode,
+        );
+        MpiState::new(
+            k,
+            machine,
+            config.mpi_cost.clone(),
+            config.cuda_aware,
+            config.ranks_per_node,
+        )
+    });
+    let program = Arc::new(program);
+    let programs: Vec<Program> = (0..num_ranks)
+        .map(|rank| {
+            let st = Arc::clone(&st);
+            let program = Arc::clone(&program);
+            Box::new(move |sim_ctx: &detsim::SimCtx| {
+                debug_assert_eq!(sim_ctx.tid(), rank);
+                let ctx = RankCtx {
+                    sim: sim_ctx,
+                    st,
+                    rank,
+                };
+                program(&ctx);
+            }) as Program
+        })
+        .collect();
+    sim.run_programs(programs);
+    let elapsed = sim.now().since(detsim::SimTime::ZERO);
+    let machine = st.machine.clone();
+    sim.with_kernel(|k| WorldReport {
+        elapsed,
+        nic_injected: if machine.num_nodes() > 1 {
+            (0..machine.num_nodes())
+                .map(|n| k.link_delivered(machine.fabric().injection_link(n)))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        nic_peak_util: if machine.num_nodes() > 1 {
+            (0..machine.num_nodes())
+                .map(|n| k.link_peak_utilization(machine.fabric().injection_link(n)))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        nic_busy_bytes: if machine.num_nodes() > 1 {
+            (0..machine.num_nodes())
+                .map(|n| k.link_busy_bytes(machine.fabric().injection_link(n)))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        executed_events: k.executed_events(),
+        trace_json: k.trace.is_enabled().then(|| k.trace.to_chrome_json()),
+        trace_ascii: k.trace.is_enabled().then(|| k.trace.to_ascii(100)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use topo::summit::summit_cluster;
+
+    fn cfg(nodes: usize, rpn: usize) -> WorldConfig {
+        WorldConfig::new(summit_cluster(nodes), rpn)
+    }
+
+    #[test]
+    fn world_runs_every_rank() {
+        let hits = Arc::new(Mutex::new(Vec::new()));
+        let h = Arc::clone(&hits);
+        run_world(cfg(2, 6), move |ctx| {
+            h.lock().push((ctx.rank(), ctx.node()));
+        });
+        let mut v = hits.lock().clone();
+        v.sort();
+        assert_eq!(v.len(), 12);
+        assert_eq!(v[0], (0, 0));
+        assert_eq!(v[11], (11, 1));
+    }
+
+    #[test]
+    fn gpu_assignment_partitions_node() {
+        let out = Arc::new(Mutex::new(vec![Vec::new(); 4]));
+        let o = Arc::clone(&out);
+        run_world(cfg(2, 2), move |ctx| {
+            o.lock()[ctx.rank()] = ctx.gpus();
+        });
+        let v = out.lock().clone();
+        assert_eq!(v[0], vec![0, 1, 2]);
+        assert_eq!(v[1], vec![3, 4, 5]);
+        assert_eq!(v[2], vec![6, 7, 8]);
+        assert_eq!(v[3], vec![9, 10, 11]);
+    }
+
+    #[test]
+    fn single_rank_per_node_owns_all_gpus() {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&out);
+        run_world(cfg(1, 1), move |ctx| {
+            *o.lock() = ctx.gpus();
+        });
+        assert_eq!(*out.lock(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn uneven_rank_split_rejected() {
+        run_world(cfg(1, 4), |_| {});
+    }
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        let times = Arc::new(Mutex::new(Vec::new()));
+        let t = Arc::clone(&times);
+        run_world(cfg(1, 6), move |ctx| {
+            // stagger arrivals
+            ctx.sim()
+                .delay(SimDuration::from_micros(10 * ctx.rank() as u64));
+            ctx.barrier();
+            t.lock().push(ctx.wtime());
+        });
+        let v = times.lock().clone();
+        assert_eq!(v.len(), 6);
+        let first = v[0];
+        for &x in &v {
+            assert!((x - first).abs() < 1e-12, "all exit barrier together");
+        }
+        assert!(first >= 50e-6, "barrier waits for slowest arrival");
+    }
+
+    #[test]
+    fn host_send_recv_moves_data_intra_node() {
+        let ok = Arc::new(Mutex::new(false));
+        let o = Arc::clone(&ok);
+        run_world(cfg(1, 2), move |ctx| {
+            let m = ctx.machine();
+            if ctx.rank() == 0 {
+                let buf = m.alloc_host_untimed(0, 0, 1024);
+                buf.write(0, &[42u8; 1024]);
+                ctx.send(&buf, 0, 1024, 1, 7);
+            } else {
+                let buf = m.alloc_host_untimed(0, 1, 1024);
+                ctx.recv(&buf, 0, 1024, 0, 7);
+                let mut got = [0u8; 1024];
+                buf.read(0, &mut got);
+                *o.lock() = got.iter().all(|&b| b == 42);
+            }
+        });
+        assert!(*ok.lock());
+    }
+
+    #[test]
+    fn internode_transfer_charges_nic_time() {
+        let dt = Arc::new(Mutex::new(0.0));
+        let d = Arc::clone(&dt);
+        run_world(cfg(2, 1), move |ctx| {
+            let m = ctx.machine();
+            let bytes = 25_000_000u64; // 1 ms at 25 GB/s injection
+            if ctx.rank() == 0 {
+                let buf = m.alloc_host_untimed(0, 0, bytes);
+                ctx.send(&buf, 0, bytes, 1, 0);
+            } else {
+                let buf = m.alloc_host_untimed(1, 0, bytes);
+                let t0 = ctx.wtime();
+                ctx.recv(&buf, 0, bytes, 0, 0);
+                *d.lock() = ctx.wtime() - t0;
+            }
+        });
+        let secs = *dt.lock();
+        assert!(secs > 0.001 && secs < 0.00105, "25MB over IB ~1ms: {secs}");
+    }
+
+    #[test]
+    fn shm_transfer_slower_than_nvlink_rate() {
+        let dt = Arc::new(Mutex::new(0.0));
+        let d = Arc::clone(&dt);
+        run_world(cfg(1, 2), move |ctx| {
+            let m = ctx.machine();
+            let bytes = 10_000_000u64; // 1 ms at shm 10 GB/s
+            if ctx.rank() == 0 {
+                let buf = m.alloc_host_untimed(0, 0, bytes);
+                let t0 = ctx.wtime();
+                ctx.send(&buf, 0, bytes, 1, 0);
+                *d.lock() = ctx.wtime() - t0;
+            } else {
+                let buf = m.alloc_host_untimed(0, 1, bytes);
+                ctx.recv(&buf, 0, bytes, 0, 0);
+            }
+        });
+        let secs = *dt.lock();
+        assert!(secs > 0.001 && secs < 0.0011, "10MB over shm ~1ms: {secs}");
+    }
+
+    #[test]
+    fn one_rank_sends_serialize_on_progress_engine() {
+        // Rank 0 sends two large messages to ranks 1 and 2 concurrently:
+        // both flow through rank 0's shm engine and share its bandwidth.
+        let dt = Arc::new(Mutex::new(0.0));
+        let d = Arc::clone(&dt);
+        run_world(cfg(1, 3), move |ctx| {
+            let m = ctx.machine();
+            let bytes = 10_000_000u64;
+            if ctx.rank() == 0 {
+                let a = m.alloc_host_untimed(0, 0, bytes);
+                let b = m.alloc_host_untimed(0, 0, bytes);
+                let t0 = ctx.wtime();
+                let r1 = ctx.isend(&a, 0, bytes, 1, 0);
+                let r2 = ctx.isend(&b, 0, bytes, 2, 0);
+                ctx.wait_all(&[r1, r2]);
+                *d.lock() = ctx.wtime() - t0;
+            } else {
+                let buf = m.alloc_host_untimed(0, 0, bytes);
+                ctx.recv(&buf, 0, bytes, 0, 0);
+            }
+        });
+        let secs = *dt.lock();
+        assert!(secs > 0.0019, "two 1ms sends share one engine: {secs}");
+    }
+
+    #[test]
+    fn obj_channel_round_trip() {
+        #[derive(Clone, PartialEq, Debug)]
+        struct Meta {
+            id: usize,
+            shape: [u64; 3],
+        }
+        let got = Arc::new(Mutex::new(None));
+        let g = Arc::clone(&got);
+        run_world(cfg(1, 2), move |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_obj(
+                    1,
+                    3,
+                    Meta {
+                        id: 9,
+                        shape: [1, 2, 3],
+                    },
+                );
+            } else {
+                *g.lock() = Some(ctx.recv_obj::<Meta>(0, 3));
+            }
+        });
+        assert_eq!(
+            got.lock().clone().unwrap(),
+            Meta {
+                id: 9,
+                shape: [1, 2, 3]
+            }
+        );
+    }
+
+    #[test]
+    fn all_gather_obj_collects_in_rank_order() {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&out);
+        run_world(cfg(1, 6), move |ctx| {
+            let all = ctx.all_gather_obj(11, ctx.rank() * 10);
+            if ctx.rank() == 3 {
+                *o.lock() = all;
+            }
+        });
+        assert_eq!(*out.lock(), vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CUDA-aware support is disabled")]
+    fn device_buffer_without_cuda_aware_panics() {
+        run_world(cfg(1, 2), move |ctx| {
+            let m = ctx.machine();
+            if ctx.rank() == 0 {
+                let buf = m.alloc_device_untimed(0, 1024).unwrap();
+                ctx.send(&buf, 0, 1024, 1, 0);
+            } else {
+                let buf = m.alloc_host_untimed(0, 1, 1024);
+                ctx.recv(&buf, 0, 1024, 0, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn cuda_aware_device_transfer_works_and_serializes() {
+        // Two CUDA-aware messages from the same source GPU serialize on its
+        // default stream.
+        let dt = Arc::new(Mutex::new(0.0));
+        let d = Arc::clone(&dt);
+        run_world(cfg(1, 3).cuda_aware(true), move |ctx| {
+            let m = ctx.machine();
+            let bytes = 50_000_000u64; // 1 ms on NVLink
+            if ctx.rank() == 0 {
+                let a = m.alloc_device_untimed(0, bytes).unwrap();
+                let t0 = ctx.wtime();
+                let r1 = ctx.isend(&a, 0, bytes, 1, 0);
+                let r2 = ctx.isend(&a, 0, bytes, 2, 1);
+                ctx.wait_all(&[r1, r2]);
+                *d.lock() = ctx.wtime() - t0;
+            } else {
+                // gpu of rank 1 is 2? ranks_per_node=3 => 2 gpus per rank
+                let g = ctx.gpus()[0];
+                let b = m.alloc_device_untimed(g, bytes).unwrap();
+                ctx.recv(&b, 0, bytes, 0, ctx.rank() as u64 - 1);
+            }
+        });
+        let secs = *dt.lock();
+        assert!(
+            secs > 0.002,
+            "two CA transfers from one GPU must serialize on its default stream: {secs}"
+        );
+    }
+
+    #[test]
+    fn cuda_aware_moves_real_bytes() {
+        let ok = Arc::new(Mutex::new(false));
+        let o = Arc::clone(&ok);
+        run_world(cfg(2, 1).cuda_aware(true), move |ctx| {
+            let m = ctx.machine();
+            if ctx.rank() == 0 {
+                let buf = m.alloc_device_untimed(0, 64).unwrap();
+                buf.write(0, &[9u8; 64]);
+                ctx.send(&buf, 0, 64, 1, 0);
+            } else {
+                let buf = m.alloc_device_untimed(6, 64).unwrap();
+                ctx.recv(&buf, 0, 64, 0, 0);
+                let mut got = [0u8; 64];
+                buf.read(0, &mut got);
+                *o.lock() = got.iter().all(|&b| b == 9);
+            }
+        });
+        assert!(*ok.lock());
+    }
+
+    #[test]
+    fn report_contains_trace_when_enabled() {
+        let rep = run_world(cfg(1, 2).trace(true), move |ctx| {
+            let m = ctx.machine();
+            if ctx.rank() == 0 {
+                let buf = m.alloc_host_untimed(0, 0, 4096 * 10);
+                ctx.send(&buf, 0, 40960, 1, 0);
+            } else {
+                let buf = m.alloc_host_untimed(0, 1, 4096 * 10);
+                ctx.recv(&buf, 0, 40960, 0, 0);
+            }
+        });
+        assert!(rep.trace_json.unwrap().contains("MPI shm"));
+        assert!(rep.elapsed.picos() > 0);
+        assert!(rep.executed_events > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            run_world(cfg(2, 6), move |ctx| {
+                let m = ctx.machine();
+                let bytes = 1_000_000u64;
+                let n = ctx.size();
+                let me = ctx.rank();
+                let sbuf = m.alloc_host_untimed(ctx.node(), 0, bytes);
+                let rbuf = m.alloc_host_untimed(ctx.node(), 0, bytes * n as u64);
+                let mut reqs = Vec::new();
+                for peer in 0..n {
+                    if peer == me {
+                        continue;
+                    }
+                    reqs.push(ctx.isend(&sbuf, 0, bytes, peer, me as u64));
+                    reqs.push(ctx.irecv(&rbuf, peer as u64 * bytes, bytes, peer, peer as u64));
+                }
+                ctx.wait_all(&reqs);
+                ctx.barrier();
+            })
+            .elapsed
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,210 @@
+//! Topology discovery: the simulated analogue of the NVML
+//! (`libnvidia-ml`) queries the paper uses to infer GPU connectivity and
+//! bandwidth for data placement (§III-B).
+//!
+//! NVML reports the *type* of connection between GPU pairs (direct NVLink,
+//! traversal through the SMP interconnect, PCIe host bridge, …) rather than
+//! a measured rate. The paper maps connection types to theoretical
+//! bandwidths and builds the QAP distance matrix from their reciprocals; we
+//! do the same by classifying the route between each pair.
+
+use crate::node::{LinkKind, NodeSpec};
+
+/// Connectivity class between a pair of GPUs, ordered from fastest to
+/// slowest.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum P2PClass {
+    /// The same GPU (self-exchange): device-memory bandwidth.
+    Same,
+    /// A direct NVLink connection (one hop).
+    NvLinkDirect,
+    /// On-node, but the route traverses the SMP interconnect or a host
+    /// bridge (NVML "SYS"/"NODE" class).
+    Sys,
+    /// Different nodes.
+    Remote,
+}
+
+/// Result of discovering one node's GPU connectivity.
+#[derive(Clone, Debug)]
+pub struct NodeDiscovery {
+    num_gpus: usize,
+    class: Vec<P2PClass>,
+    bandwidth: Vec<f64>,
+    peer: Vec<bool>,
+}
+
+/// Nominal bandwidth assigned to a GPU pair whose route crosses the SMP
+/// interconnect. Lower than a direct NVLink because the X-Bus is shared by
+/// all cross-socket pairs (and both directions); the precise value only
+/// needs to order placements correctly, exactly as in the paper's use of
+/// NVML connection types.
+pub const SYS_NOMINAL_BW: f64 = 16e9;
+
+/// Nominal device-internal bandwidth for self-exchanges.
+pub const SAME_NOMINAL_BW: f64 = 800e9;
+
+impl NodeDiscovery {
+    /// Discover GPU connectivity for one node.
+    pub fn discover(node: &NodeSpec) -> NodeDiscovery {
+        let n = node.num_gpus();
+        let mut class = vec![P2PClass::Remote; n * n];
+        let mut bandwidth = vec![0.0; n * n];
+        let mut peer = vec![false; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                let (c, bw) = if a == b {
+                    (P2PClass::Same, SAME_NOMINAL_BW)
+                } else {
+                    match node.route(node.gpu(a), node.gpu(b)) {
+                        Some(route) if route.len() == 1
+                            && node.links[route[0]].kind == LinkKind::NvLink =>
+                        {
+                            (P2PClass::NvLinkDirect, node.links[route[0]].bandwidth)
+                        }
+                        Some(_) => (P2PClass::Sys, SYS_NOMINAL_BW),
+                        None => (P2PClass::Remote, 0.0),
+                    }
+                };
+                class[a * n + b] = c;
+                bandwidth[a * n + b] = bw;
+                peer[a * n + b] = node.gpus_can_peer(a, b);
+            }
+        }
+        NodeDiscovery {
+            num_gpus: n,
+            class,
+            bandwidth,
+            peer,
+        }
+    }
+
+    /// Number of GPUs on the node.
+    pub fn num_gpus(&self) -> usize {
+        self.num_gpus
+    }
+
+    /// Connectivity class of a pair.
+    pub fn p2p_class(&self, a: usize, b: usize) -> P2PClass {
+        self.class[a * self.num_gpus + b]
+    }
+
+    /// Nominal (theoretical) bandwidth of a pair, bytes/second.
+    pub fn bandwidth(&self, a: usize, b: usize) -> f64 {
+        self.bandwidth[a * self.num_gpus + b]
+    }
+
+    /// Whether peer access can be enabled between a pair.
+    pub fn can_peer(&self, a: usize, b: usize) -> bool {
+        self.peer[a * self.num_gpus + b]
+    }
+
+    /// The QAP distance matrix: element-wise reciprocal of the nominal
+    /// bandwidth matrix (paper §III-B). The diagonal is zero — co-located
+    /// flow costs nothing to "move".
+    pub fn distance_matrix(&self) -> Vec<Vec<f64>> {
+        let n = self.num_gpus;
+        (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|b| {
+                        if a == b {
+                            0.0
+                        } else {
+                            let bw = self.bandwidth(a, b);
+                            if bw > 0.0 {
+                                1.0 / bw
+                            } else {
+                                f64::INFINITY
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Pretty-print the connectivity matrix in `nvidia-smi topo -m` style.
+    pub fn render_matrix(&self) -> String {
+        use std::fmt::Write;
+        let n = self.num_gpus;
+        let mut out = String::new();
+        let _ = write!(out, "{:>6}", "");
+        for b in 0..n {
+            let _ = write!(out, "{:>6}", format!("GPU{b}"));
+        }
+        out.push('\n');
+        for a in 0..n {
+            let _ = write!(out, "{:>6}", format!("GPU{a}"));
+            for b in 0..n {
+                let tag = match self.p2p_class(a, b) {
+                    P2PClass::Same => "X",
+                    P2PClass::NvLinkDirect => "NV2",
+                    P2PClass::Sys => "SYS",
+                    P2PClass::Remote => "-",
+                };
+                let _ = write!(out, "{tag:>6}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summit::summit_node;
+
+    #[test]
+    fn summit_discovery_classes() {
+        let d = NodeDiscovery::discover(&summit_node());
+        assert_eq!(d.num_gpus(), 6);
+        assert_eq!(d.p2p_class(0, 0), P2PClass::Same);
+        assert_eq!(d.p2p_class(0, 1), P2PClass::NvLinkDirect);
+        assert_eq!(d.p2p_class(0, 4), P2PClass::Sys);
+        assert_eq!(d.p2p_class(4, 0), P2PClass::Sys);
+    }
+
+    #[test]
+    fn summit_bandwidth_ordering() {
+        let d = NodeDiscovery::discover(&summit_node());
+        assert!(d.bandwidth(0, 0) > d.bandwidth(0, 1));
+        assert!(d.bandwidth(0, 1) > d.bandwidth(0, 3));
+        assert_eq!(d.bandwidth(1, 2), 50e9);
+    }
+
+    #[test]
+    fn distance_matrix_is_reciprocal_and_symmetric() {
+        let d = NodeDiscovery::discover(&summit_node());
+        let m = d.distance_matrix();
+        for (a, row) in m.iter().enumerate() {
+            assert_eq!(row[a], 0.0);
+            for (b, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[b][a]);
+                if a != b {
+                    assert!((v - 1.0 / d.bandwidth(a, b)).abs() < 1e-18);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peer_matrix_full_on_summit() {
+        let d = NodeDiscovery::discover(&summit_node());
+        for a in 0..6 {
+            for b in 0..6 {
+                assert!(d.can_peer(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn render_matrix_has_expected_tags() {
+        let d = NodeDiscovery::discover(&summit_node());
+        let s = d.render_matrix();
+        assert!(s.contains("NV2"));
+        assert!(s.contains("SYS"));
+        assert!(s.contains('X'));
+    }
+}

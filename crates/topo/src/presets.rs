@@ -1,0 +1,117 @@
+//! Additional node presets beyond Summit, demonstrating that the library
+//! adapts to any topology ("flexible performance across any combination of
+//! ranks and GPUs", paper §I).
+
+use detsim::SimDuration;
+
+use crate::cluster::ClusterSpec;
+use crate::node::{LinkKind, NodeSpec};
+
+/// A DGX-A100-like node: 8 GPUs all joined through NVSwitch with uniform
+/// high bandwidth. On such a node every placement is equally good — the
+/// situation where Faraji et al. (paper ref [13]) observed no effect from
+/// topology-aware placement.
+pub fn dgx_node() -> NodeSpec {
+    let mut n = NodeSpec::new("dgx");
+    let cpu0 = n.add_cpu();
+    let cpu1 = n.add_cpu();
+    let switch_bw = 300e9; // NVSwitch per-GPU injection
+    let us1 = SimDuration::from_micros(1);
+    n.link(cpu0, cpu1, LinkKind::XBus, 100e9, us1);
+    let gpus: Vec<_> = (0..8).map(|_| n.add_gpu()).collect();
+    // NVSwitch: model as a full mesh of uniform links (each pair gets a
+    // dedicated lane at the per-GPU injection rate; contention inside the
+    // switch is negligible by design).
+    for i in 0..8 {
+        for j in (i + 1)..8 {
+            n.link(gpus[i], gpus[j], LinkKind::NvLink, switch_bw, us1);
+        }
+    }
+    for (i, &g) in gpus.iter().enumerate() {
+        let socket = if i < 4 { cpu0 } else { cpu1 };
+        n.link(g, socket, LinkKind::Pcie, 25e9, us1);
+    }
+    let nic = n.add_nic();
+    n.link(nic, cpu0, LinkKind::Pcie, 25e9, us1);
+    n.link(nic, cpu1, LinkKind::Pcie, 25e9, us1);
+    n
+}
+
+/// A cluster of DGX-like nodes.
+pub fn dgx_cluster(num_nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        node: dgx_node(),
+        num_nodes,
+        injection_bandwidth: 25e9,
+        switch_latency: SimDuration::from_nanos(1500),
+    }
+}
+
+/// A commodity workstation: one CPU socket, `gpus` PCIe-attached GPUs with
+/// no peer-to-peer fast path — every GPU pair communicates through the
+/// host bridge. The opposite extreme from Summit: all pairs equal and
+/// *slow*, so placement is again indifferent but specialization still
+/// matters (staging through the host costs two bus crossings).
+pub fn pcie_workstation_node(gpus: usize) -> NodeSpec {
+    let mut n = NodeSpec::new("pcie-workstation");
+    let cpu = n.add_cpu();
+    let us1 = SimDuration::from_micros(1);
+    for _ in 0..gpus {
+        let g = n.add_gpu();
+        n.link(g, cpu, LinkKind::Pcie, 12e9, us1); // PCIe 3.0 x16-ish
+    }
+    let nic = n.add_nic();
+    n.link(nic, cpu, LinkKind::Pcie, 12e9, us1);
+    n
+}
+
+/// A single-node "cluster" of one PCIe workstation.
+pub fn pcie_workstation_cluster(gpus: usize) -> ClusterSpec {
+    ClusterSpec {
+        node: pcie_workstation_node(gpus),
+        num_nodes: 1,
+        injection_bandwidth: 12e9,
+        switch_latency: SimDuration::from_nanos(1500),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discover::{NodeDiscovery, P2PClass};
+
+    #[test]
+    fn dgx_is_uniform_nvlink() {
+        let d = NodeDiscovery::discover(&dgx_node());
+        assert_eq!(d.num_gpus(), 8);
+        for a in 0..8 {
+            for b in 0..8 {
+                if a != b {
+                    assert_eq!(d.p2p_class(a, b), P2PClass::NvLinkDirect, "{a}-{b}");
+                    assert_eq!(d.bandwidth(a, b), 300e9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workstation_pairs_route_via_host() {
+        let node = pcie_workstation_node(4);
+        let d = NodeDiscovery::discover(&node);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert_eq!(d.p2p_class(a, b), P2PClass::Sys);
+                }
+            }
+        }
+        // GPU-GPU route: gpu -> cpu -> gpu
+        assert_eq!(node.route(node.gpu(0), node.gpu(3)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn presets_have_nics_for_clustering() {
+        assert_eq!(dgx_cluster(4).total_gpus(), 32);
+        assert_eq!(pcie_workstation_cluster(4).total_gpus(), 4);
+    }
+}

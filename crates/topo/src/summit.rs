@@ -1,0 +1,94 @@
+//! The Summit node preset (paper Fig. 10 / Table I).
+//!
+//! One Summit node: two POWER9 sockets joined by a 64 GB/s X-Bus, three
+//! V100 GPUs per socket forming a "triad" — every GPU pair within a triad is
+//! joined by a dual NVLink2 connection (50 GB/s per direction), and each GPU
+//! has its own 50 GB/s NVLink2 connection to its socket. A dual-rail EDR
+//! InfiniBand NIC (~25 GB/s injection) is reachable from both sockets.
+
+use detsim::SimDuration;
+
+use crate::cluster::ClusterSpec;
+use crate::node::{LinkKind, NodeSpec};
+
+/// NVLink2 bandwidth per direction between connected endpoints (2 bricks).
+pub const NVLINK_BW: f64 = 50e9;
+/// X-Bus (SMP interconnect) bandwidth per direction.
+pub const XBUS_BW: f64 = 64e9;
+/// NIC injection bandwidth (dual-rail EDR InfiniBand), per direction.
+pub const NIC_BW: f64 = 25e9;
+/// PCIe bandwidth from each socket to the NIC.
+pub const PCIE_NIC_BW: f64 = 25e9;
+/// V100 device-memory bandwidth (HBM2); used for on-device "kernel" copies.
+pub const HBM_BW: f64 = 900e9;
+
+/// Build a Summit node description.
+pub fn summit_node() -> NodeSpec {
+    let mut n = NodeSpec::new("summit");
+    let cpu0 = n.add_cpu();
+    let cpu1 = n.add_cpu();
+    let gpus: Vec<_> = (0..6).map(|_| n.add_gpu()).collect();
+    let nic = n.add_nic();
+
+    let us1 = SimDuration::from_micros(1);
+    // SMP interconnect between sockets.
+    n.link(cpu0, cpu1, LinkKind::XBus, XBUS_BW, us1);
+    // Triads: GPU <-> socket and all GPU pairs within a triad.
+    for (socket, triad) in [(cpu0, [0usize, 1, 2]), (cpu1, [3, 4, 5])] {
+        for &g in &triad {
+            n.link(gpus[g], socket, LinkKind::NvLink, NVLINK_BW, us1);
+        }
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                n.link(gpus[triad[i]], gpus[triad[j]], LinkKind::NvLink, NVLINK_BW, us1);
+            }
+        }
+    }
+    // NIC hangs off both sockets.
+    n.link(nic, cpu0, LinkKind::Pcie, PCIE_NIC_BW, us1);
+    n.link(nic, cpu1, LinkKind::Pcie, PCIE_NIC_BW, us1);
+    n
+}
+
+/// A cluster of `num_nodes` Summit nodes on a non-blocking switch.
+pub fn summit_cluster(num_nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        node: summit_node(),
+        num_nodes,
+        injection_bandwidth: NIC_BW,
+        switch_latency: SimDuration::from_nanos(1500),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_cluster_counts() {
+        let c = summit_cluster(256);
+        assert_eq!(c.total_gpus(), 1536);
+        assert_eq!(c.node.name(), "summit");
+    }
+
+    #[test]
+    fn triad_pairs_have_direct_links() {
+        let n = summit_node();
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            let r = n.route(n.gpu(a), n.gpu(b)).unwrap();
+            assert_eq!(r.len(), 1, "gpu{a}<->gpu{b} should be one NVLink hop");
+        }
+    }
+
+    #[test]
+    fn cross_triad_pairs_are_three_hops() {
+        let n = summit_node();
+        for a in 0..3 {
+            for b in 3..6 {
+                let r = n.route(n.gpu(a), n.gpu(b)).unwrap();
+                assert_eq!(r.len(), 3, "gpu{a}<->gpu{b}");
+                assert!(r.iter().any(|&li| n.links[li].kind == LinkKind::XBus));
+            }
+        }
+    }
+}
