@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI: formatting, lints, docs (warnings fatal), build, tests.
+# Runs offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> OK"

@@ -1,27 +1,44 @@
-//! Criterion macro-benchmark: wall-clock cost of simulating one complete
+//! Macro-benchmark: wall-clock cost of simulating one complete
 //! single-node halo exchange (setup + exchange), i.e. the simulator's own
 //! performance.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use stencil_bench::microbench::Bench;
 use stencil_bench::{measure_exchange, ExchangeConfig};
 use stencil_core::Methods;
 
-fn bench_exchange(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate");
+fn main() {
+    let mut g = Bench::new("simulate");
     g.sample_size(10);
-    g.bench_function("exchange/1n6r-specialized", |b| {
-        b.iter(|| measure_exchange(&ExchangeConfig::new(1, 6, 930).methods(Methods::all()).iters(1)))
+    g.run("exchange/1n6r-specialized", || {
+        measure_exchange(
+            &ExchangeConfig::new(1, 6, 930)
+                .methods(Methods::all())
+                .iters(1),
+        )
     });
-    g.bench_function("exchange/1n6r-staged", |b| {
-        b.iter(|| {
-            measure_exchange(&ExchangeConfig::new(1, 6, 930).methods(Methods::staged_only()).iters(1))
-        })
+    // Same workload with the metrics registry enabled — the pair bounds the
+    // collection overhead (disabled-path overhead is a single branch; see
+    // docs/OBSERVABILITY.md).
+    g.run("exchange/1n6r-specialized+metrics", || {
+        measure_exchange(
+            &ExchangeConfig::new(1, 6, 930)
+                .methods(Methods::all())
+                .iters(1)
+                .metrics(true),
+        )
     });
-    g.bench_function("exchange/4n6r-specialized", |b| {
-        b.iter(|| measure_exchange(&ExchangeConfig::new(4, 6, 1685).methods(Methods::all()).iters(1)))
+    g.run("exchange/1n6r-staged", || {
+        measure_exchange(
+            &ExchangeConfig::new(1, 6, 930)
+                .methods(Methods::staged_only())
+                .iters(1),
+        )
     });
-    g.finish();
+    g.run("exchange/4n6r-specialized", || {
+        measure_exchange(
+            &ExchangeConfig::new(4, 6, 1685)
+                .methods(Methods::all())
+                .iters(1),
+        )
+    });
 }
-
-criterion_group!(benches, bench_exchange);
-criterion_main!(benches);

@@ -1,18 +1,18 @@
-//! Criterion micro-benchmarks: halo pack/unpack throughput (the host-side
-//! data plane that moves real bytes in full-data simulations).
+//! Micro-benchmarks: halo pack/unpack throughput (the host-side data plane
+//! that moves real bytes in full-data simulations).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stencil_bench::microbench::Bench;
 use stencil_core::dim3::Dir3;
 use stencil_core::region::{array_dims, pack, src_region, unpack};
 use stencil_core::Radius;
 
-fn bench_pack(c: &mut Criterion) {
+fn main() {
     let ext = [256u64, 256, 256];
     let r = Radius::constant(2);
     let dims = array_dims(ext, &r);
     let elem = 4usize;
     let arr = vec![7u8; (dims[0] * dims[1] * dims[2]) as usize * elem];
-    let mut g = c.benchmark_group("pack");
+    let mut g = Bench::new("pack");
     g.sample_size(30);
     for (name, d) in [
         ("x-face", Dir3::new(1, 0, 0)),
@@ -22,17 +22,13 @@ fn bench_pack(c: &mut Criterion) {
         let reg = src_region(ext, &r, d);
         let bytes = reg.volume() as usize * elem;
         let mut buf = vec![0u8; bytes];
-        g.throughput(Throughput::Bytes(bytes as u64));
-        g.bench_function(format!("pack/{name}"), |b| {
-            b.iter(|| pack(&arr, dims, elem, reg, &mut buf, 0))
+        g.throughput_bytes(bytes as u64);
+        g.run(&format!("pack/{name}"), || {
+            pack(&arr, dims, elem, reg, &mut buf, 0)
         });
         let mut dst = arr.clone();
-        g.bench_function(format!("unpack/{name}"), |b| {
-            b.iter(|| unpack(&buf, 0, &mut dst, dims, elem, reg))
+        g.run(&format!("unpack/{name}"), || {
+            unpack(&buf, 0, &mut dst, dims, elem, reg)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_pack);
-criterion_main!(benches);

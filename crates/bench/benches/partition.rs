@@ -1,30 +1,34 @@
-//! Criterion micro-benchmarks: the setup-phase partitioner (real compute,
-//! not simulated time).
+//! Micro-benchmarks: the setup-phase partitioner (real compute, not
+//! simulated time).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use stencil_bench::microbench::Bench;
 use stencil_core::Partition;
 
-fn bench_partition(c: &mut Criterion) {
-    let mut g = c.benchmark_group("partition");
+fn main() {
+    let mut g = Bench::new("partition");
     g.sample_size(30);
-    for (name, nodes, gpus) in [("1n6g", 1usize, 6usize), ("256n6g", 256, 6), ("4096n8g", 4096, 8)] {
-        g.bench_function(format!("new/{name}"), |b| {
-            b.iter(|| Partition::new(black_box([8653, 8653, 8653]), black_box(nodes), black_box(gpus)))
+    for (name, nodes, gpus) in [
+        ("1n6g", 1usize, 6usize),
+        ("256n6g", 256, 6),
+        ("4096n8g", 4096, 8),
+    ] {
+        g.run(&format!("new/{name}"), || {
+            Partition::new(
+                black_box([8653, 8653, 8653]),
+                black_box(nodes),
+                black_box(gpus),
+            )
         });
     }
     // Geometry queries used on hot setup paths.
     let p = Partition::new([8653, 8653, 8653], 256, 6);
-    g.bench_function("all_boxes/256n6g", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for (n, gp) in p.all_subdomains() {
-                acc += p.gpu_box(n, gp).volume();
-            }
-            acc
-        })
+    g.run("all_boxes/256n6g", || {
+        let mut acc = 0u64;
+        for (n, gp) in p.all_subdomains() {
+            acc += p.gpu_box(n, gp).volume();
+        }
+        acc
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_partition);
-criterion_main!(benches);

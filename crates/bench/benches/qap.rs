@@ -1,6 +1,6 @@
-//! Criterion micro-benchmarks: QAP placement solvers.
+//! Micro-benchmarks: QAP placement solvers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use stencil_bench::microbench::Bench;
 use stencil_core::dim3::Neighborhood;
 use stencil_core::{placement, qap, Partition, Radius};
 use topo::summit::summit_node;
@@ -10,33 +10,42 @@ fn instance(n_gpus: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
     if n_gpus == 6 {
         let part = Partition::new([1440, 1452, 700], 1, 6);
         let disc = NodeDiscovery::discover(&summit_node());
-        let w = placement::flow_matrix(&part, [0, 0, 0], Neighborhood::Full26, &Radius::constant(2), 4, 4);
+        let w = placement::flow_matrix(
+            &part,
+            [0, 0, 0],
+            Neighborhood::Full26,
+            &Radius::constant(2),
+            4,
+            4,
+        );
         (w, disc.distance_matrix())
     } else {
         // synthetic deterministic instance
         let mut state = 9u64;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
-        let w = (0..n_gpus).map(|_| (0..n_gpus).map(|_| rnd()).collect()).collect();
-        let d = (0..n_gpus).map(|_| (0..n_gpus).map(|_| rnd()).collect()).collect();
+        let w = (0..n_gpus)
+            .map(|_| (0..n_gpus).map(|_| rnd()).collect())
+            .collect();
+        let d = (0..n_gpus)
+            .map(|_| (0..n_gpus).map(|_| rnd()).collect())
+            .collect();
         (w, d)
     }
 }
 
-fn bench_qap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("qap");
+fn main() {
+    let mut g = Bench::new("qap");
     g.sample_size(20);
     let (w6, d6) = instance(6);
-    g.bench_function("exhaustive/n6-summit", |b| b.iter(|| qap::solve_exhaustive(&w6, &d6)));
-    g.bench_function("greedy2opt/n6-summit", |b| b.iter(|| qap::solve_greedy_2opt(&w6, &d6)));
+    g.run("exhaustive/n6-summit", || qap::solve_exhaustive(&w6, &d6));
+    g.run("greedy2opt/n6-summit", || qap::solve_greedy_2opt(&w6, &d6));
     let (w8, d8) = instance(8);
-    g.bench_function("exhaustive/n8", |b| b.iter(|| qap::solve_exhaustive(&w8, &d8)));
+    g.run("exhaustive/n8", || qap::solve_exhaustive(&w8, &d8));
     let (w16, d16) = instance(16);
-    g.bench_function("greedy2opt/n16", |b| b.iter(|| qap::solve_greedy_2opt(&w16, &d16)));
-    g.finish();
+    g.run("greedy2opt/n16", || qap::solve_greedy_2opt(&w16, &d16));
 }
-
-criterion_group!(benches, bench_qap);
-criterion_main!(benches);

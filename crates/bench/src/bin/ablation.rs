@@ -2,30 +2,48 @@
 //! plus the QAP-solver comparison (exhaustive vs greedy+2-opt), isolating
 //! each design choice's contribution on the Fig. 11 worst-case domain.
 
-use stencil_bench::{bench_args, fmt_ms, measure_exchange, tiers, ExchangeConfig};
+use stencil_bench::{
+    bench_args, fmt_ms, measure_exchange, tiers, write_metrics_json, ExchangeConfig,
+};
 use stencil_core::dim3::Neighborhood;
 use stencil_core::{placement, qap, Partition, PlacementStrategy, Radius};
 use topo::summit::summit_node;
 use topo::NodeDiscovery;
 
 fn main() {
-    let (_, iters) = bench_args(1);
+    let args = bench_args(1);
+    let iters = args.iters;
+    let mut last_report = None;
     let domain = [1440u64, 1452, 700];
-    println!("Ablation — placement x specialization on {}x{}x{} (1 node, 6 ranks)", domain[0], domain[1], domain[2]);
+    println!(
+        "Ablation — placement x specialization on {}x{}x{} (1 node, 6 ranks)",
+        domain[0], domain[1], domain[2]
+    );
     println!("--------------------------------------------------------------------------");
-    println!("{:<12} | {:>12} {:>12} {:>12} {:>12}", "placement", "+remote", "+colo", "+peer", "+kernel");
+    println!(
+        "{:<12} | {:>12} {:>12} {:>12} {:>12}",
+        "placement", "+remote", "+colo", "+peer", "+kernel"
+    );
     for (pname, p) in [
         ("node-aware", PlacementStrategy::NodeAware),
         ("trivial", PlacementStrategy::Trivial),
     ] {
         let mut row = Vec::new();
         for (_, m) in tiers() {
-            let cfg = ExchangeConfig::new(1, 6, 0).domain(domain).methods(m).placement(p).iters(iters);
+            let cfg = ExchangeConfig::new(1, 6, 0)
+                .domain(domain)
+                .methods(m)
+                .placement(p)
+                .iters(iters);
             row.push(measure_exchange(&cfg).mean);
         }
         println!(
             "{:<12} | {} {} {} {}",
-            pname, fmt_ms(row[0]), fmt_ms(row[1]), fmt_ms(row[2]), fmt_ms(row[3])
+            pname,
+            fmt_ms(row[0]),
+            fmt_ms(row[1]),
+            fmt_ms(row[2]),
+            fmt_ms(row[3])
         );
     }
     println!();
@@ -35,20 +53,31 @@ fn main() {
     // large enough." Test the conjecture: consolidate staged messages per
     // (subdomain, destination rank) at several scales.
     println!("Message consolidation (staged transfers grouped per subdomain+rank):");
-    println!("{:>6} | {:>12} {:>12} | ratio", "nodes", "plain", "consolidated");
+    println!(
+        "{:>6} | {:>12} {:>12} | ratio",
+        "nodes", "plain", "consolidated"
+    );
     for nodes in [2usize, 8, 32] {
         let extent = stencil_bench::weak_scaling_extent(750, nodes * 6);
         let plain = measure_exchange(
-            &ExchangeConfig::new(nodes, 6, extent).methods(stencil_core::Methods::all()).iters(iters),
-        )
-        .mean;
-        let grouped = measure_exchange(
             &ExchangeConfig::new(nodes, 6, extent)
                 .methods(stencil_core::Methods::all())
-                .consolidate(true)
                 .iters(iters),
         )
         .mean;
+        // Collect the metrics artifact from the consolidated run at each
+        // scale; the last (32-node) snapshot is the one written out.
+        let gr = measure_exchange(
+            &ExchangeConfig::new(nodes, 6, extent)
+                .methods(stencil_core::Methods::all())
+                .consolidate(true)
+                .iters(iters)
+                .metrics(args.metrics.is_some()),
+        );
+        if let Some(report) = gr.metrics {
+            last_report = Some(report);
+        }
+        let grouped = gr.mean;
         println!(
             "{:>6} | {} {} | {:.3}x",
             nodes,
@@ -62,7 +91,14 @@ fn main() {
     println!("QAP solver comparison on the same instance:");
     let part = Partition::new(domain, 1, 6);
     let disc = NodeDiscovery::discover(&summit_node());
-    let w = placement::flow_matrix(&part, [0, 0, 0], Neighborhood::Full26, &Radius::constant(2), 4, 4);
+    let w = placement::flow_matrix(
+        &part,
+        [0, 0, 0],
+        Neighborhood::Full26,
+        &Radius::constant(2),
+        4,
+        4,
+    );
     let d = disc.distance_matrix();
     let t0 = std::time::Instant::now();
     let (fe, ce) = qap::solve_exhaustive(&w, &d);
@@ -73,4 +109,7 @@ fn main() {
     println!("  exhaustive:  cost {ce:.4e}  assignment {fe:?}  ({te:?})");
     println!("  greedy+2opt: cost {ch:.4e}  assignment {fh:?}  ({th:?})");
     println!("  heuristic gap: {:.2}%", (ch / ce - 1.0) * 100.0);
+    if let (Some(path), Some(report)) = (args.metrics.as_deref(), last_report.as_ref()) {
+        write_metrics_json(path, report);
+    }
 }

@@ -3,29 +3,47 @@
 //! 720 x 484 x 700 subdomains). The paper reports ~20% speedup from
 //! node-aware placement.
 
-use stencil_bench::{bench_args, fmt_ms, measure_exchange, ExchangeConfig};
+use stencil_bench::{bench_args, fmt_ms, measure_exchange, write_metrics_json, ExchangeConfig};
 use stencil_core::dim3::Neighborhood;
 use stencil_core::{placement, Methods, Partition, PlacementStrategy, Radius};
 use topo::summit::summit_node;
 use topo::NodeDiscovery;
 
 fn main() {
-    let (_, iters) = bench_args(1);
+    let args = bench_args(1);
+    let iters = args.iters;
+    let mut last_report = None;
     let domain = [1440u64, 1452, 700];
-    println!("Fig. 11 — data placement on a {}x{}x{} domain, 1 node, 6 GPUs", domain[0], domain[1], domain[2]);
+    println!(
+        "Fig. 11 — data placement on a {}x{}x{} domain, 1 node, 6 GPUs",
+        domain[0], domain[1], domain[2]
+    );
     println!("--------------------------------------------------------------------");
 
     // Show the QAP inputs and the chosen assignment.
     let part = Partition::new(domain, 1, 6);
     let b = part.gpu_box([0, 0, 0], [0, 0, 0]);
-    println!("  subdomains: {:?} each (gpu grid {:?})", b.extent, part.gpu_dims);
+    println!(
+        "  subdomains: {:?} each (gpu grid {:?})",
+        b.extent, part.gpu_dims
+    );
     let disc = NodeDiscovery::discover(&summit_node());
     let r = Radius::constant(2);
     for (name, strat) in [
         ("node-aware", PlacementStrategy::NodeAware),
         ("trivial", PlacementStrategy::Trivial),
     ] {
-        let pl = placement::place(&part, [0, 0, 0], &disc, Neighborhood::Full26, &r, 4, 4, strat, stencil_core::dim3::Boundary::Periodic);
+        let pl = placement::place(
+            &part,
+            [0, 0, 0],
+            &disc,
+            Neighborhood::Full26,
+            &r,
+            4,
+            4,
+            strat,
+            stencil_core::dim3::Boundary::Periodic,
+        );
         println!(
             "  {name:<11} assignment (subdomain -> GPU): {:?}   QAP cost {:.3e}",
             pl.gpu_for_subdomain, pl.cost
@@ -41,12 +59,19 @@ fn main() {
             ("trivial", PlacementStrategy::Trivial),
             ("empirical", PlacementStrategy::Empirical),
         ] {
+            // Collect the metrics artifact from the node-aware 6-rank run.
+            let collect =
+                args.metrics.is_some() && rpn == 6 && matches!(p, PlacementStrategy::NodeAware);
             let cfg = ExchangeConfig::new(1, rpn, 0)
                 .domain(domain)
                 .methods(Methods::all())
                 .placement(p)
-                .iters(iters);
+                .iters(iters)
+                .metrics(collect);
             let res = measure_exchange(&cfg);
+            if let Some(report) = res.metrics {
+                last_report = Some(report);
+            }
             println!("  {:<26} {:<11}: {}", cfg.label(), pname, fmt_ms(res.mean));
             row.push(res.mean);
         }
@@ -62,4 +87,7 @@ fn main() {
         "  paper: ~1.20x; measured best: {:.2}x",
         speedups.iter().cloned().fold(f64::MIN, f64::max)
     );
+    if let (Some(path), Some(report)) = (args.metrics.as_deref(), last_report.as_ref()) {
+        write_metrics_json(path, report);
+    }
 }

@@ -6,23 +6,47 @@
 //! improves as ranks-per-node grows; enabling the Kernel method on top of
 //! Peer has no visible effect.
 
-use stencil_bench::{bench_args, fmt_ms, measure_exchange, tiers, tiers_cuda_aware, ExchangeConfig};
+use stencil_bench::{
+    bench_args, fmt_ms, measure_exchange, tiers, tiers_cuda_aware, write_metrics_json,
+    ExchangeConfig,
+};
 
 fn main() {
-    let (_, iters) = bench_args(1);
+    let args = bench_args(1);
+    let iters = args.iters;
+    let mut last_report = None;
     // Fixed data per GPU: 512^3-ish per GPU as a single cube over 6 GPUs.
     let extent = (512f64 * 6f64.cbrt()).round() as u64;
-    println!("Fig. 12a — single-node specialization sweep ({extent}^3 domain, 4 SP quantities, r=2)");
-    println!("--------------------------------------------------------------------------------------");
+    println!(
+        "Fig. 12a — single-node specialization sweep ({extent}^3 domain, 4 SP quantities, r=2)"
+    );
+    println!(
+        "--------------------------------------------------------------------------------------"
+    );
     let mut staged6 = 0.0;
     let mut ca6 = 0.0;
     let mut full6 = 0.0;
     for rpn in [1usize, 2, 6] {
         println!("  -- {rpn} rank(s) per node --");
         for (name, m) in tiers() {
-            let cfg = ExchangeConfig::new(1, rpn, extent).methods(m).iters(iters);
+            // Collect the metrics artifact from the fully specialized 6-rank
+            // run; metrics do not affect virtual time.
+            let collect = args.metrics.is_some() && rpn == 6 && name == "+kernel";
+            let cfg = ExchangeConfig::new(1, rpn, extent)
+                .methods(m)
+                .iters(iters)
+                .metrics(collect);
             let r = measure_exchange(&cfg);
-            println!("  {:<16} {:<11} {}   {}", cfg.label(), name, fmt_ms(r.mean), r.plan);
+            if let Some(report) = r.metrics {
+                last_report = Some(report);
+            }
+            println!(
+                "  {:<16} {:<11} {}   {}",
+                cfg.label(),
+                name,
+                fmt_ms(r.mean),
+                r.plan
+            );
             if rpn == 6 && name == "+remote" {
                 staged6 = r.mean;
             }
@@ -31,9 +55,18 @@ fn main() {
             }
         }
         for (name, m) in tiers_cuda_aware() {
-            let cfg = ExchangeConfig::new(1, rpn, extent).methods(m).cuda_aware(true).iters(iters);
+            let cfg = ExchangeConfig::new(1, rpn, extent)
+                .methods(m)
+                .cuda_aware(true)
+                .iters(iters);
             let r = measure_exchange(&cfg);
-            println!("  {:<16} {:<11} {}   {}", cfg.label(), name, fmt_ms(r.mean), r.plan);
+            println!(
+                "  {:<16} {:<11} {}   {}",
+                cfg.label(),
+                name,
+                fmt_ms(r.mean),
+                r.plan
+            );
             if rpn == 6 && name == "+remote/ca" {
                 ca6 = r.mean;
             }
@@ -41,6 +74,15 @@ fn main() {
     }
     println!();
     println!("  headline ratios at 6 ranks/node (paper in parentheses):");
-    println!("    specialization over STAGED:        {:.1}x  (6x)", staged6 / full6);
-    println!("    specialization over CUDA-aware:    {:.1}x  (2x)", ca6 / full6);
+    println!(
+        "    specialization over STAGED:        {:.1}x  (6x)",
+        staged6 / full6
+    );
+    println!(
+        "    specialization over CUDA-aware:    {:.1}x  (2x)",
+        ca6 / full6
+    );
+    if let (Some(path), Some(report)) = (args.metrics.as_deref(), last_report.as_ref()) {
+        write_metrics_json(path, report);
+    }
 }

@@ -3,11 +3,15 @@
 //! transfers on the default stream and synchronizes the device per
 //! message), and intra-node specialization ceases to help.
 
-use stencil_bench::{bench_args, fmt_ms, measure_exchange, tiers_cuda_aware, weak_scaling_extent, ExchangeConfig};
+use stencil_bench::{
+    bench_args, fmt_ms, measure_exchange, tiers_cuda_aware, weak_scaling_extent,
+    write_metrics_json, ExchangeConfig,
+};
 use stencil_core::Methods;
 
 fn main() {
-    let (max_nodes, iters) = bench_args(256);
+    let args = bench_args(256);
+    let iters = args.iters;
     println!("Fig. 12c — weak scaling, CUDA-aware MPI (750^3/GPU, 6 ranks x 6 GPUs per node)");
     println!("--------------------------------------------------------------------------------");
     println!(
@@ -17,25 +21,45 @@ fn main() {
     let mut first_ca = 0.0;
     let mut last_ca = 0.0;
     let mut last_ref = 0.0;
+    let mut last_report = None;
+    let ca_tiers = tiers_cuda_aware();
     for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
-        if nodes > max_nodes {
+        if nodes > args.max_nodes {
             break;
         }
         let extent = weak_scaling_extent(750, nodes * 6);
         let mut row = Vec::new();
-        for (_, m) in tiers_cuda_aware() {
-            let cfg = ExchangeConfig::new(nodes, 6, extent).methods(m).cuda_aware(true).iters(iters);
-            row.push(measure_exchange(&cfg).mean);
+        for (i, (_, m)) in ca_tiers.iter().enumerate() {
+            let collect = args.metrics.is_some() && i == ca_tiers.len() - 1;
+            let cfg = ExchangeConfig::new(nodes, 6, extent)
+                .methods(*m)
+                .cuda_aware(true)
+                .iters(iters)
+                .metrics(collect);
+            let r = measure_exchange(&cfg);
+            if let Some(report) = r.metrics {
+                last_report = Some(report);
+            }
+            row.push(r.mean);
         }
         // non-CA staged reference for the same size
-        let refc = ExchangeConfig::new(nodes, 6, extent).methods(Methods::staged_only()).iters(iters);
+        let refc = ExchangeConfig::new(nodes, 6, extent)
+            .methods(Methods::staged_only())
+            .iters(iters);
         let r = measure_exchange(&refc).mean;
         println!(
             "{:>6} {:>8} | {} {} {} {} | {}",
-            nodes, extent,
-            fmt_ms(row[0]), fmt_ms(row[1]), fmt_ms(row[2]), fmt_ms(row[3]), fmt_ms(r)
+            nodes,
+            extent,
+            fmt_ms(row[0]),
+            fmt_ms(row[1]),
+            fmt_ms(row[2]),
+            fmt_ms(row[3]),
+            fmt_ms(r)
         );
-        if nodes == 1 { first_ca = row[0]; }
+        if nodes == 1 {
+            first_ca = row[0];
+        }
         last_ca = row[0];
         last_ref = r;
     }
@@ -44,4 +68,7 @@ fn main() {
         "  CUDA-aware degradation vs single node: {:.1}x; vs plain staged at largest scale: {:.2}x slower",
         last_ca / first_ca, last_ca / last_ref
     );
+    if let (Some(path), Some(report)) = (args.metrics.as_deref(), last_report.as_ref()) {
+        write_metrics_json(path, report);
+    }
 }

@@ -5,27 +5,47 @@
 //! specialization stops improving things past ~32 nodes; strong scaling
 //! stalls at 256 nodes as subdomains become tiny.
 
-use stencil_bench::{bench_args, fmt_ms, measure_exchange, tiers, ExchangeConfig};
+use stencil_bench::{
+    bench_args, fmt_ms, measure_exchange, tiers, write_metrics_json, ExchangeConfig,
+};
 
 fn main() {
-    let (max_nodes, iters) = bench_args(256);
+    let args = bench_args(256);
+    let iters = args.iters;
     let extent = 1363u64;
     println!("Fig. 13 — strong scaling of a {extent}^3 domain (4 SP quantities, 6r/6g per node)");
     println!("----------------------------------------------------------------------------------");
-    println!("{:>6} | {:>12} {:>12} {:>12} {:>12}", "nodes", "+remote", "+colo", "+peer", "+kernel");
+    println!(
+        "{:>6} | {:>12} {:>12} {:>12} {:>12}",
+        "nodes", "+remote", "+colo", "+peer", "+kernel"
+    );
     let mut series = Vec::new();
+    let mut last_report = None;
+    let all_tiers = tiers();
     for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
-        if nodes > max_nodes {
+        if nodes > args.max_nodes {
             break;
         }
         let mut row = Vec::new();
-        for (_, m) in tiers() {
-            let cfg = ExchangeConfig::new(nodes, 6, extent).methods(m).iters(iters);
-            row.push(measure_exchange(&cfg).mean);
+        for (i, (_, m)) in all_tiers.iter().enumerate() {
+            let collect = args.metrics.is_some() && i == all_tiers.len() - 1;
+            let cfg = ExchangeConfig::new(nodes, 6, extent)
+                .methods(*m)
+                .iters(iters)
+                .metrics(collect);
+            let r = measure_exchange(&cfg);
+            if let Some(report) = r.metrics {
+                last_report = Some(report);
+            }
+            row.push(r.mean);
         }
         println!(
             "{:>6} | {} {} {} {}",
-            nodes, fmt_ms(row[0]), fmt_ms(row[1]), fmt_ms(row[2]), fmt_ms(row[3])
+            nodes,
+            fmt_ms(row[0]),
+            fmt_ms(row[1]),
+            fmt_ms(row[2]),
+            fmt_ms(row[3])
         );
         series.push((nodes, row[3]));
     }
@@ -33,6 +53,15 @@ fn main() {
     if series.len() >= 2 {
         let (n0, t0) = series[0];
         let (nl, tl) = *series.last().unwrap();
-        println!("  exchange time {} @ {} node(s) -> {} @ {} nodes", fmt_ms(t0), n0, fmt_ms(tl), nl);
+        println!(
+            "  exchange time {} @ {} node(s) -> {} @ {} nodes",
+            fmt_ms(t0),
+            n0,
+            fmt_ms(tl),
+            nl
+        );
+    }
+    if let (Some(path), Some(report)) = (args.metrics.as_deref(), last_report.as_ref()) {
+        write_metrics_json(path, report);
     }
 }

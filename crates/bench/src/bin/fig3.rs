@@ -58,7 +58,10 @@ fn main() {
     // The automatic chooser must pick the square-ish splits.
     let auto4 = Partition::new(domain, 1, 4);
     let auto9 = Partition::new(domain, 1, 9);
-    println!("  choose_dims picks {:?} for 4 parts, {:?} for 9 parts", auto4.gpu_dims, auto9.gpu_dims);
+    println!(
+        "  choose_dims picks {:?} for 4 parts, {:?} for 9 parts",
+        auto4.gpu_dims, auto9.gpu_dims
+    );
     assert!(results[0].1 < results[1].1, "2x2 must beat 4x1");
     assert!(results[2].1 < results[3].1, "3x3 must beat 9x1");
     assert_eq!(auto4.gpu_dims, [2, 2, 1]);

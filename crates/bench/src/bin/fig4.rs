@@ -8,8 +8,14 @@ fn main() {
     let domain = [4u64, 24, 2];
     println!("Fig. 4 — hierarchical decomposition of a 4x24x2 domain, 12 nodes x 4 GPUs");
     println!("--------------------------------------------------------------------------");
-    println!("  prime factors of 12 (largest first): {:?}", prime_factors(12));
-    println!("  prime factors of  4 (largest first): {:?}", prime_factors(4));
+    println!(
+        "  prime factors of 12 (largest first): {:?}",
+        prime_factors(12)
+    );
+    println!(
+        "  prime factors of  4 (largest first): {:?}",
+        prime_factors(4)
+    );
 
     let p = Partition::new(domain, 12, 4);
     println!("  node grid: {:?}   (paper: [2, 6, 1])", p.node_dims);
@@ -18,8 +24,14 @@ fn main() {
     assert_eq!(p.gpu_dims, [2, 2, 1]);
 
     // Walk the splits the way the figure narrates them.
-    println!("  step ❷: split y by 3 -> node shape {:?}", choose_dims(domain, 3));
-    println!("  step ❸: then y by 2, step ❹: then x by 2 -> {:?}", p.node_dims);
+    println!(
+        "  step ❷: split y by 3 -> node shape {:?}",
+        choose_dims(domain, 3)
+    );
+    println!(
+        "  step ❸: then y by 2, step ❹: then x by 2 -> {:?}",
+        p.node_dims
+    );
 
     // The annotated subdomain [1, 2, 0] in node space.
     let nb = p.node_box([1, 2, 0]);

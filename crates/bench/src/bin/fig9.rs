@@ -33,6 +33,9 @@ fn main() {
     let json = rep.trace_json.unwrap();
     let path = "fig9_trace.json";
     std::fs::write(path, &json).expect("write trace");
-    println!("\nfull trace written to {path} ({} KiB); load it in chrome://tracing", json.len() / 1024);
+    println!(
+        "\nfull trace written to {path} ({} KiB); load it in chrome://tracing",
+        json.len() / 1024
+    );
     println!("exchange completed at {}", rep.elapsed);
 }

@@ -8,15 +8,31 @@ use topo::{Fabric, NodeDiscovery};
 fn main() {
     println!("Table I — simulated hardware summary");
     println!("------------------------------------");
-    println!("{:<18} Summit (2x POWER9 + 6x V100-SXM2-16GB)", "node model");
+    println!(
+        "{:<18} Summit (2x POWER9 + 6x V100-SXM2-16GB)",
+        "node model"
+    );
     println!("{:<18} 2 sockets, X-Bus SMP interconnect", "CPU");
-    println!("{:<18} 6 per node, 16 GiB each, in two NVLink triads", "GPUs");
-    println!("{:<18} dual-rail EDR InfiniBand, non-blocking switch", "interconnect");
-    println!("{:<18} detsim/gpusim/mpisim simulation (no real CUDA/MPI)", "substrate");
+    println!(
+        "{:<18} 6 per node, 16 GiB each, in two NVLink triads",
+        "GPUs"
+    );
+    println!(
+        "{:<18} dual-rail EDR InfiniBand, non-blocking switch",
+        "interconnect"
+    );
+    println!(
+        "{:<18} detsim/gpusim/mpisim simulation (no real CUDA/MPI)",
+        "substrate"
+    );
     println!();
     println!("Fig. 10 — link bandwidths (per direction)");
     println!("-----------------------------------------");
-    println!("{:<28} {:>8.0} GB/s", "NVLink2 (GPU-GPU, GPU-CPU)", NVLINK_BW / 1e9);
+    println!(
+        "{:<28} {:>8.0} GB/s",
+        "NVLink2 (GPU-GPU, GPU-CPU)",
+        NVLINK_BW / 1e9
+    );
     println!("{:<28} {:>8.0} GB/s", "X-Bus (CPU-CPU)", XBUS_BW / 1e9);
     println!("{:<28} {:>8.0} GB/s", "NIC injection", NIC_BW / 1e9);
     println!("{:<28} {:>8.0} GB/s", "HBM2 (device memory)", HBM_BW / 1e9);
@@ -46,8 +62,14 @@ fn main() {
         ("GPU0 -> GPU1 (triad)", fabric.gpu_gpu_path(0, 0, 1)),
         ("GPU0 -> GPU3 (cross-socket)", fabric.gpu_gpu_path(0, 0, 3)),
         ("GPU0 -> host (D2H)", fabric.gpu_to_host_path(0, 0)),
-        ("host n0 -> host n1 (IB)", fabric.internode_host_path(0, 0, 1, 0)),
-        ("GPU0@n0 -> GPU0@n1 (GPUDirect)", fabric.internode_gpu_path(0, 0, 1, 0)),
+        (
+            "host n0 -> host n1 (IB)",
+            fabric.internode_host_path(0, 0, 1, 0),
+        ),
+        (
+            "GPU0@n0 -> GPU0@n1 (GPUDirect)",
+            fabric.internode_gpu_path(0, 0, 1, 0),
+        ),
     ];
     for (name, path) in cases {
         println!(

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod microbench;
+
 use std::sync::Arc;
 
 use gpusim::DataMode;
@@ -42,6 +44,9 @@ pub struct ExchangeConfig {
     pub iters: usize,
     /// Consolidate staged messages (paper §VI extension).
     pub consolidate: bool,
+    /// Collect metrics during the run (virtual-time results are unaffected;
+    /// the registry snapshot lands in [`ExchangeResult::metrics`]).
+    pub metrics: bool,
 }
 
 impl ExchangeConfig {
@@ -60,6 +65,7 @@ impl ExchangeConfig {
             placement: PlacementStrategy::NodeAware,
             iters: 3,
             consolidate: false,
+            metrics: false,
         }
     }
 
@@ -99,6 +105,12 @@ impl ExchangeConfig {
         self
     }
 
+    /// Enable metrics collection for this run.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
     /// The paper's label string, e.g. `"2n/6r/6g/750/ca"`.
     pub fn label(&self) -> String {
         let base = match self.domain {
@@ -106,7 +118,10 @@ impl ExchangeConfig {
                 "{}n/{}r/6g/{}x{}x{}",
                 self.nodes, self.ranks_per_node, d[0], d[1], d[2]
             ),
-            None => format!("{}n/{}r/6g/{}", self.nodes, self.ranks_per_node, self.extent),
+            None => format!(
+                "{}n/{}r/6g/{}",
+                self.nodes, self.ranks_per_node, self.extent
+            ),
         };
         if self.cuda_aware {
             format!("{base}/ca")
@@ -125,6 +140,8 @@ pub struct ExchangeResult {
     pub mean: f64,
     /// Human-readable plan summary from rank 0.
     pub plan: String,
+    /// Metrics snapshot, if [`ExchangeConfig::metrics`] was set.
+    pub metrics: Option<detsim::MetricsReport>,
 }
 
 /// Measure halo-exchange time for a configuration, following the paper's
@@ -146,8 +163,9 @@ pub fn measure_exchange(cfg: &ExchangeConfig) -> ExchangeResult {
     let consolidate = cfg.consolidate;
     let world = WorldConfig::new(summit_cluster(cfg.nodes), cfg.ranks_per_node)
         .cuda_aware(cuda_aware)
-        .data_mode(DataMode::Virtual);
-    run_world(world, move |ctx| {
+        .data_mode(DataMode::Virtual)
+        .metrics(cfg.metrics);
+    let report = run_world(world, move |ctx| {
         let dom = DomainBuilder::new(domain)
             .radius(radius)
             .quantities(quantities)
@@ -178,6 +196,7 @@ pub fn measure_exchange(cfg: &ExchangeConfig) -> ExchangeResult {
         per_iter,
         mean,
         plan,
+        metrics: report.metrics,
     }
 }
 
@@ -193,27 +212,64 @@ pub fn fmt_ms(s: f64) -> String {
     format!("{:9.3} ms", s * 1e3)
 }
 
+/// Shared benchmark CLI flags.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Cap on scaling sweeps (`--max-nodes N`).
+    pub max_nodes: usize,
+    /// Repetitions per configuration (`--iters N`).
+    pub iters: usize,
+    /// Write a metrics JSON artifact here (`--metrics PATH`). Metrics are
+    /// collected on the headline configuration of each binary; virtual-time
+    /// results are unchanged.
+    pub metrics: Option<String>,
+}
+
 /// Parse shared benchmark CLI flags: `--max-nodes N` caps scaling sweeps,
-/// `--iters N` sets repetitions. Returns `(max_nodes, iters)`.
-pub fn bench_args(default_max_nodes: usize) -> (usize, usize) {
-    let args: Vec<String> = std::env::args().collect();
-    let mut max_nodes = default_max_nodes;
-    let mut iters = 2;
-    let mut i = 1;
+/// `--iters N` sets repetitions, `--metrics PATH` emits a metrics JSON
+/// artifact.
+pub fn bench_args(default_max_nodes: usize) -> BenchArgs {
+    parse_bench_args(default_max_nodes, std::env::args().skip(1))
+}
+
+fn parse_bench_args(default_max_nodes: usize, args: impl Iterator<Item = String>) -> BenchArgs {
+    let args: Vec<String> = args.collect();
+    let mut parsed = BenchArgs {
+        max_nodes: default_max_nodes,
+        iters: 2,
+        metrics: None,
+    };
+    let mut i = 0;
+    let operand = |i: usize| -> &String {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--max-nodes" => {
-                max_nodes = args[i + 1].parse().expect("--max-nodes N");
+                parsed.max_nodes = operand(i).parse().expect("--max-nodes N");
                 i += 2;
             }
             "--iters" => {
-                iters = args[i + 1].parse().expect("--iters N");
+                parsed.iters = operand(i).parse().expect("--iters N");
                 i += 2;
             }
-            other => panic!("unknown flag {other} (expected --max-nodes N / --iters N)"),
+            "--metrics" => {
+                parsed.metrics = Some(operand(i).clone());
+                i += 2;
+            }
+            other => {
+                panic!("unknown flag {other} (expected --max-nodes N / --iters N / --metrics PATH)")
+            }
         }
     }
-    (max_nodes, iters)
+    parsed
+}
+
+/// Write a metrics report as JSON to `path` and print a one-line note.
+pub fn write_metrics_json(path: &str, report: &detsim::MetricsReport) {
+    std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("  metrics written to {path}");
 }
 
 /// The method tiers of the paper's Fig. 12, without CUDA-aware MPI.
@@ -233,7 +289,10 @@ pub fn tiers_cuda_aware() -> Vec<(&'static str, stencil_core::Methods)> {
     vec![
         ("+remote/ca", Methods::cuda_aware_only()),
         ("+colo/ca", Methods::cuda_aware_only().with_colocated()),
-        ("+peer/ca", Methods::cuda_aware_only().with_colocated().with_peer()),
+        (
+            "+peer/ca",
+            Methods::cuda_aware_only().with_colocated().with_peer(),
+        ),
         ("+kernel/ca", Methods::all_with_cuda_aware()),
     ]
 }
@@ -257,6 +316,31 @@ mod tests {
         assert_eq!(c.label(), "2n/6r/6g/945/ca");
         let c2 = ExchangeConfig::new(1, 1, 0).domain([1440, 1452, 700]);
         assert_eq!(c2.label(), "1n/1r/6g/1440x1452x700");
+    }
+
+    #[test]
+    fn bench_args_parse_all_flags() {
+        let a = parse_bench_args(
+            256,
+            ["--max-nodes", "8", "--iters", "5", "--metrics", "m.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.max_nodes, 8);
+        assert_eq!(a.iters, 5);
+        assert_eq!(a.metrics.as_deref(), Some("m.json"));
+        let d = parse_bench_args(256, std::iter::empty());
+        assert_eq!(d.max_nodes, 256);
+        assert_eq!(d.iters, 2);
+        assert!(d.metrics.is_none());
+    }
+
+    #[test]
+    fn metrics_snapshot_rides_along() {
+        let r = measure_exchange(&ExchangeConfig::new(1, 2, 64).iters(1).metrics(true));
+        let report = r.metrics.expect("metrics requested but absent");
+        let json = report.to_json();
+        assert!(json.contains("\"exchange\""), "no exchange metrics: {json}");
     }
 
     #[test]

@@ -400,17 +400,6 @@ pub(crate) fn build_plans(
         }
     }
 
-    // Link each peer send to its same-rank receive plan.
-    for sp in &mut sends {
-        if sp.method == Method::PeerMemcpy {
-            let idx = recvs
-                .iter()
-                .position(|rp| rp.tag == sp.tag && rp.method == Method::PeerMemcpy)
-                .expect("peer send without matching local receive plan");
-            sp.peer_recv = Some(idx);
-        }
-    }
-
     // Colocated IPC handshake: receivers share (handle, mailbox), senders
     // open the handle. One-time, during setup — no MPI during exchanges.
     for rp in &recvs {
@@ -448,7 +437,10 @@ pub(crate) fn build_plans(
         let mut groups: BTreeMap<(u64, usize), Vec<SendPlan>> = BTreeMap::new();
         for sp in sends {
             if sp.method == Method::Staged {
-                groups.entry((sp.tag / 32, sp.dst_rank)).or_default().push(sp);
+                groups
+                    .entry((sp.tag / 32, sp.dst_rank))
+                    .or_default()
+                    .push(sp);
             } else {
                 keep.push(sp);
             }
@@ -467,7 +459,10 @@ pub(crate) fn build_plans(
                 .expect("consolidated pack buffer");
             let host_buf = machine.alloc_host_untimed(
                 machine.node_of(device),
-                machine.fabric().node_spec().gpu_socket(machine.local_of(device)),
+                machine
+                    .fabric()
+                    .node_spec()
+                    .gpu_socket(machine.local_of(device)),
                 total,
             );
             let mut off = 0;
@@ -504,7 +499,10 @@ pub(crate) fn build_plans(
         let mut groups: BTreeMap<(u64, usize), Vec<RecvPlan>> = BTreeMap::new();
         for rp in recvs {
             if rp.method == Method::Staged {
-                groups.entry((rp.tag / 32, rp.src_rank)).or_default().push(rp);
+                groups
+                    .entry((rp.tag / 32, rp.src_rank))
+                    .or_default()
+                    .push(rp);
             } else {
                 keep.push(rp);
             }
@@ -520,7 +518,10 @@ pub(crate) fn build_plans(
             let dev0 = machine.stream_device(members[0].stream);
             let host_buf = machine.alloc_host_untimed(
                 machine.node_of(dev0),
-                machine.fabric().node_spec().gpu_socket(machine.local_of(dev0)),
+                machine
+                    .fabric()
+                    .node_spec()
+                    .gpu_socket(machine.local_of(dev0)),
                 total,
             );
             let mut off = 0;
@@ -550,6 +551,23 @@ pub(crate) fn build_plans(
             });
         }
         recvs = keep;
+    }
+
+    // Link each peer send to its same-rank receive plan. This must happen
+    // after consolidation: filtering staged plans out of `recvs` shifts the
+    // indices of the surviving PeerMemcpy plans.
+    for sp in &mut sends {
+        if sp.method == Method::PeerMemcpy {
+            let idx = recvs
+                .iter()
+                .position(|rp| rp.tag == sp.tag && rp.method == Method::PeerMemcpy)
+                .expect("peer send without matching local receive plan");
+            assert_eq!(
+                recvs[idx].bytes, sp.bytes,
+                "peer send/recv plans disagree on message size"
+            );
+            sp.peer_recv = Some(idx);
+        }
     }
     ctx.barrier();
     (sends, recvs, grouped_sends, grouped_recvs, summary)
@@ -630,6 +648,21 @@ pub struct ExchangeTiming {
     /// Per method: time from exchange start until its last transfer
     /// (including unpack) was observed complete.
     pub per_method: std::collections::BTreeMap<Method, detsim::SimDuration>,
+    /// Per phase ("pack", "send", "wait", "unpack"): time from exchange
+    /// start until the last transfer finished that phase. Fused methods
+    /// (kernel, peer, colocated sends) have no distinct phases and only
+    /// appear in `per_method`.
+    pub per_phase: std::collections::BTreeMap<&'static str, detsim::SimDuration>,
+}
+
+impl ExchangeTiming {
+    /// Max-update the completion time of `phase` relative to the start.
+    fn phase(&mut self, phase: &'static str, d: detsim::SimDuration) {
+        let e = self.per_phase.entry(phase).or_default();
+        if d > *e {
+            *e = d;
+        }
+    }
 }
 
 impl DistributedDomain {
@@ -802,7 +835,15 @@ impl DistributedDomain {
         for (i, gp) in self.grouped_send_plans.iter().enumerate() {
             let pack = make_group_pack_work(&gp.segments, gp.pack_buf.clone());
             m.launch_kernel(ctx.sim(), gp.stream, "pack-group", gp.bytes, Some(pack));
-            m.memcpy_async(ctx.sim(), gp.stream, &gp.host_buf, 0, &gp.pack_buf, 0, gp.bytes);
+            m.memcpy_async(
+                ctx.sim(),
+                gp.stream,
+                &gp.host_buf,
+                0,
+                &gp.pack_buf,
+                0,
+                gp.bytes,
+            );
             let staged_ev = m.record_event(ctx.sim(), gp.stream);
             machines.push(Machine::GroupedSend {
                 plan: i,
@@ -817,8 +858,15 @@ impl DistributedDomain {
         }
     }
 
-    fn poll_machine(&self, ctx: &RankCtx, mach: &mut Machine) -> Poll {
+    fn poll_machine(
+        &self,
+        ctx: &RankCtx,
+        mach: &mut Machine,
+        started: detsim::SimTime,
+        timing: &mut ExchangeTiming,
+    ) -> Poll {
         let m = ctx.machine().clone();
+        let since_start = |ctx: &RankCtx| ctx.sim().now().since(started);
         match mach {
             Machine::StagedSend {
                 plan,
@@ -830,6 +878,7 @@ impl DistributedDomain {
                     if !staged_ev.is_done() {
                         return Poll::Blocked(staged_ev.clone());
                     }
+                    timing.phase("pack", since_start(ctx));
                     *req = Some(ctx.isend(
                         sp.host_buf.as_ref().unwrap(),
                         0,
@@ -840,6 +889,7 @@ impl DistributedDomain {
                 }
                 let r = req.as_ref().unwrap();
                 if r.is_done() {
+                    timing.phase("send", since_start(ctx));
                     Poll::Done
                 } else {
                     Poll::Blocked(r.completion().clone())
@@ -855,6 +905,7 @@ impl DistributedDomain {
                     if !req.is_done() {
                         return Poll::Blocked(req.completion().clone());
                     }
+                    timing.phase("wait", since_start(ctx));
                     let dev = rp.recv_dev_buf.as_ref().unwrap();
                     m.memcpy_async(
                         ctx.sim(),
@@ -882,6 +933,7 @@ impl DistributedDomain {
                 }
                 let ev = unpack_ev.as_ref().unwrap();
                 if ev.is_done() {
+                    timing.phase("unpack", since_start(ctx));
                     Poll::Done
                 } else {
                     Poll::Blocked(ev.clone())
@@ -893,6 +945,7 @@ impl DistributedDomain {
                     if !pack_ev.is_done() {
                         return Poll::Blocked(pack_ev.clone());
                     }
+                    timing.phase("pack", since_start(ctx));
                     *req = Some(ctx.isend(
                         sp.pack_buf.as_ref().unwrap(),
                         0,
@@ -903,6 +956,7 @@ impl DistributedDomain {
                 }
                 let r = req.as_ref().unwrap();
                 if r.is_done() {
+                    timing.phase("send", since_start(ctx));
                     Poll::Done
                 } else {
                     Poll::Blocked(r.completion().clone())
@@ -918,6 +972,7 @@ impl DistributedDomain {
                     if !req.is_done() {
                         return Poll::Blocked(req.completion().clone());
                     }
+                    timing.phase("wait", since_start(ctx));
                     let dev = rp.recv_dev_buf.as_ref().unwrap();
                     let unpack = make_unpack_work(
                         rp.arrays.clone(),
@@ -936,6 +991,7 @@ impl DistributedDomain {
                 }
                 let ev = unpack_ev.as_ref().unwrap();
                 if ev.is_done() {
+                    timing.phase("unpack", since_start(ctx));
                     Poll::Done
                 } else {
                     Poll::Blocked(ev.clone())
@@ -951,10 +1007,12 @@ impl DistributedDomain {
                     if !staged_ev.is_done() {
                         return Poll::Blocked(staged_ev.clone());
                     }
+                    timing.phase("pack", since_start(ctx));
                     *req = Some(ctx.isend(&gp.host_buf, 0, gp.bytes, gp.dst_rank, gp.tag));
                 }
                 let r = req.as_ref().unwrap();
                 if r.is_done() {
+                    timing.phase("send", since_start(ctx));
                     Poll::Done
                 } else {
                     Poll::Blocked(r.completion().clone())
@@ -970,6 +1028,7 @@ impl DistributedDomain {
                     if !req.is_done() {
                         return Poll::Blocked(req.completion().clone());
                     }
+                    timing.phase("wait", since_start(ctx));
                     // Fan the combined buffer out: per segment, H2D to its
                     // device then unpack on its stream. Segments on
                     // different devices proceed in parallel.
@@ -977,7 +1036,15 @@ impl DistributedDomain {
                     for seg in &gp.segments {
                         let stream = seg.stream.expect("recv segment stream");
                         let dev = seg.dev_buf.as_ref().expect("recv segment buffer");
-                        m.memcpy_async(ctx.sim(), stream, dev, 0, &gp.host_buf, seg.offset, seg.bytes);
+                        m.memcpy_async(
+                            ctx.sim(),
+                            stream,
+                            dev,
+                            0,
+                            &gp.host_buf,
+                            seg.offset,
+                            seg.bytes,
+                        );
                         let unpack = make_unpack_work(
                             seg.arrays.clone(),
                             seg.dims,
@@ -985,12 +1052,19 @@ impl DistributedDomain {
                             seg.region,
                             dev.clone(),
                         );
-                        evs.push(m.launch_kernel(ctx.sim(), stream, "unpack", seg.bytes, Some(unpack)));
+                        evs.push(m.launch_kernel(
+                            ctx.sim(),
+                            stream,
+                            "unpack",
+                            seg.bytes,
+                            Some(unpack),
+                        ));
                     }
                     *unpack_all = Some(ctx.sim().with_kernel(|k| k.completion_all(&evs)));
                 }
                 let ev = unpack_all.as_ref().unwrap();
                 if ev.is_done() {
+                    timing.phase("unpack", since_start(ctx));
                     Poll::Done
                 } else {
                     Poll::Blocked(ev.clone())
@@ -1019,6 +1093,7 @@ impl DistributedDomain {
                             return Poll::Blocked(waiter);
                         }
                     };
+                    timing.phase("wait", since_start(ctx));
                     m.stream_wait_event(ctx.sim(), rp.stream, &copied);
                     let dev = rp.recv_dev_buf.as_ref().unwrap();
                     let unpack = make_unpack_work(
@@ -1038,6 +1113,7 @@ impl DistributedDomain {
                 }
                 let ev = unpack_ev.as_ref().unwrap();
                 if ev.is_done() {
+                    timing.phase("unpack", since_start(ctx));
                     Poll::Done
                 } else {
                     Poll::Blocked(ev.clone())
@@ -1070,7 +1146,7 @@ impl DistributedDomain {
                 if done[i] {
                     continue;
                 }
-                match self.poll_machine(ctx, mach) {
+                match self.poll_machine(ctx, mach, handle.started, &mut timing) {
                     Poll::Done => {
                         done[i] = true;
                         stamp(&mut timing, mach.method(), ctx.sim().now());
@@ -1093,7 +1169,52 @@ impl DistributedDomain {
             }
             ctx.wait_any_completion(&blockers);
         }
+        self.record_exchange_metrics(ctx, &timing);
         timing
+    }
+
+    /// Fold one finished exchange into the metrics registry: critical-path
+    /// histograms per method and per phase, plus per-method byte counters
+    /// from the plans. No-op unless metrics are enabled on the kernel.
+    fn record_exchange_metrics(&self, ctx: &RankCtx, timing: &ExchangeTiming) {
+        ctx.sim().with_kernel(|k| {
+            if !k.metrics.is_enabled() {
+                return;
+            }
+            k.metrics.counter_add("exchange", "exchanges", &[], 1);
+            k.metrics
+                .observe("exchange", "total_ps", &[], timing.total.picos() as f64);
+            for (method, d) in &timing.per_method {
+                let name = method.to_string();
+                k.metrics.observe(
+                    "exchange",
+                    "method_ps",
+                    &[("method", &name)],
+                    d.picos() as f64,
+                );
+            }
+            for (phase, d) in &timing.per_phase {
+                k.metrics.observe(
+                    "exchange",
+                    "phase_ps",
+                    &[("phase", phase)],
+                    d.picos() as f64,
+                );
+            }
+            for sp in &self.send_plans {
+                let name = sp.method.to_string();
+                k.metrics
+                    .counter_add("exchange", "method_bytes", &[("method", &name)], sp.bytes);
+            }
+            for gp in &self.grouped_send_plans {
+                k.metrics.counter_add(
+                    "exchange",
+                    "method_bytes",
+                    &[("method", "staged")],
+                    gp.bytes,
+                );
+            }
+        });
     }
 
     /// One complete halo exchange: issue, overlap, and drain.

@@ -40,6 +40,30 @@
 //! }
 //! # }
 //! ```
+//!
+//! A complete (small-scale, runnable) exchange over two simulated ranks:
+//!
+//! ```
+//! use mpisim::{run_world, WorldConfig};
+//! use stencil_core::{DomainBuilder, Methods, Neighborhood};
+//! use topo::summit::summit_cluster;
+//!
+//! run_world(WorldConfig::new(summit_cluster(1), 2), |ctx| {
+//!     let dom = DomainBuilder::new([24, 20, 16])
+//!         .radius(1)
+//!         .quantities(1)
+//!         .neighborhood(Neighborhood::Faces6)
+//!         .methods(Methods::all())
+//!         .build(ctx);
+//!     for local in dom.locals() {
+//!         local.fill(0, |p| (p[0] + p[1] + p[2]) as f32);
+//!     }
+//!     dom.exchange(ctx);
+//!     if ctx.rank() == 0 {
+//!         assert!(!dom.plan_summary().to_string().is_empty());
+//!     }
+//! });
+//! ```
 
 #![warn(missing_docs)]
 

@@ -271,7 +271,6 @@ impl Partition {
 mod tests {
     use super::*;
     use crate::dim3::Neighborhood;
-    use proptest::prelude::*;
 
     #[test]
     fn prime_factors_sorted_desc() {
@@ -368,45 +367,80 @@ mod tests {
         assert_eq!(choose_dims([60, 60, 1], 9), [3, 3, 1]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_boxes_disjoint_and_cover(
-            dx in 1u64..80, dy in 1u64..80, dz in 1u64..80,
-            nodes in 1usize..9, gpus in 1usize..7,
-        ) {
+    /// Deterministic xorshift for case generation.
+    fn rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    /// Subdomain boxes tile the domain: volumes sum exactly, and sample
+    /// points belong to exactly one subdomain.
+    #[test]
+    fn prop_boxes_disjoint_and_cover() {
+        let mut r = rng(42);
+        for _ in 0..60 {
+            let nodes = 1 + (r() % 8) as usize;
+            let gpus = 1 + (r() % 6) as usize;
+            let dx = 1 + r() % 79;
+            let dy = 1 + r() % 79;
+            let dz = 1 + r() % 79;
             let domain = [dx.max(nodes as u64 * gpus as u64), dy, dz];
             let p = Partition::new(domain, nodes, gpus);
             // volumes sum to the domain volume
-            let total: u64 = p.all_subdomains().map(|(n, g)| p.gpu_box(n, g).volume()).sum();
-            prop_assert_eq!(total, domain[0] * domain[1] * domain[2]);
+            let total: u64 = p
+                .all_subdomains()
+                .map(|(n, g)| p.gpu_box(n, g).volume())
+                .sum();
+            assert_eq!(
+                total,
+                domain[0] * domain[1] * domain[2],
+                "domain {domain:?}"
+            );
             // sample points map to exactly one subdomain
-            for pt in [[0u64,0,0], [domain[0]-1, domain[1]-1, domain[2]-1],
-                       [domain[0]/2, domain[1]/3, domain[2]/2]] {
-                let owners = p.all_subdomains()
+            for pt in [
+                [0u64, 0, 0],
+                [domain[0] - 1, domain[1] - 1, domain[2] - 1],
+                [domain[0] / 2, domain[1] / 3, domain[2] / 2],
+            ] {
+                let owners = p
+                    .all_subdomains()
                     .filter(|&(n, g)| p.gpu_box(n, g).contains(pt))
                     .count();
-                prop_assert_eq!(owners, 1);
+                assert_eq!(owners, 1, "point {pt:?} of {domain:?}");
             }
         }
+    }
 
-        #[test]
-        fn prop_choose_dims_product(count in 1usize..500) {
+    /// The chosen grid always multiplies out to the requested count.
+    #[test]
+    fn prop_choose_dims_product() {
+        for count in 1usize..500 {
             let d = choose_dims([1000, 1000, 1000], count);
-            prop_assert_eq!(d[0] * d[1] * d[2], count);
+            assert_eq!(d[0] * d[1] * d[2], count, "count {count}");
         }
+    }
 
-        #[test]
-        fn prop_neighbor_stays_in_range(
-            nodes in 1usize..9, gpus in 1usize..7, seed in 0usize..1000
-        ) {
+    /// Periodic neighbor lookups always land inside the grid.
+    #[test]
+    fn prop_neighbor_stays_in_range() {
+        let mut r = rng(7);
+        for _ in 0..50 {
+            let nodes = 1 + (r() % 8) as usize;
+            let gpus = 1 + (r() % 6) as usize;
+            let seed = (r() % 1000) as usize;
             let p = Partition::new([640, 640, 640], nodes, gpus);
             let subs: Vec<_> = p.all_subdomains().collect();
             let (n, g) = subs[seed % subs.len()];
             for d in Neighborhood::Full26.directions() {
                 let (n2, g2) = p.neighbor(n, g, d);
                 for a in 0..3 {
-                    prop_assert!(n2[a] < p.node_dims[a]);
-                    prop_assert!(g2[a] < p.gpu_dims[a]);
+                    assert!(n2[a] < p.node_dims[a]);
+                    assert!(g2[a] < p.gpu_dims[a]);
                 }
             }
         }

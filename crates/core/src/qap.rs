@@ -131,7 +131,6 @@ pub fn solve(w: &[Vec<f64>], d: &[Vec<f64>]) -> (Vec<usize>, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn mat(rows: &[&[f64]]) -> Vec<Vec<f64>> {
         rows.iter().map(|r| r.to_vec()).collect()
@@ -223,13 +222,17 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_exhaustive_beats_any_permutation(seed in 0u64..5000) {
+    /// The exhaustive solver's optimum is never beaten by random
+    /// permutations, over many random instances.
+    #[test]
+    fn prop_exhaustive_beats_any_permutation() {
+        for seed in 0u64..60 {
             let n = 4usize;
             let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
             let mut rnd = move || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64) / (u32::MAX as f64)
             };
             let w: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
@@ -241,23 +244,30 @@ mod tests {
                 let i = (rnd() * n as f64) as usize % n;
                 let j = (rnd() * n as f64) as usize % n;
                 p.swap(i, j);
-                prop_assert!(cost(&w, &d, &p) >= best - 1e-9);
+                assert!(cost(&w, &d, &p) >= best - 1e-9, "seed {seed}");
             }
         }
+    }
 
-        #[test]
-        fn prop_heuristic_is_permutation(n in 2usize..12, seed in 0u64..1000) {
-            let mut state = seed.wrapping_add(7);
-            let mut rnd = move || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                ((state >> 33) as f64) / (u32::MAX as f64)
-            };
-            let w: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
-            let d: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
-            let (f, _) = solve_greedy_2opt(&w, &d);
-            let mut s = f.clone();
-            s.sort_unstable();
-            prop_assert_eq!(s, (0..n).collect::<Vec<_>>());
+    /// The heuristic always returns a valid permutation.
+    #[test]
+    fn prop_heuristic_is_permutation() {
+        for n in 2usize..12 {
+            for seed in 0u64..12 {
+                let mut state = (seed * 83 + n as u64).wrapping_add(7);
+                let mut rnd = move || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) as f64) / (u32::MAX as f64)
+                };
+                let w: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+                let d: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+                let (f, _) = solve_greedy_2opt(&w, &d);
+                let mut s = f.clone();
+                s.sort_unstable();
+                assert_eq!(s, (0..n).collect::<Vec<_>>(), "n={n} seed={seed}");
+            }
         }
     }
 }

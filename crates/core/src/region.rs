@@ -176,7 +176,6 @@ pub fn copy_region(arr: &mut [u8], dims: Dim3, elem: usize, from: Region, to: Re
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn r2() -> Radius {
         Radius::constant(2)
@@ -296,48 +295,56 @@ mod tests {
         assert_eq!(got, expected);
     }
 
-    proptest! {
-        #[test]
-        fn prop_pack_unpack_identity(
-            ex in 2u64..8, ey in 2u64..8, ez in 2u64..8,
-            r in 1u64..3, elem in prop::sample::select(vec![1usize, 4, 8]),
-            dir_i in 0usize..26,
-        ) {
-            let ext = [ex.max(r), ey.max(r), ez.max(r)];
-            let rad = Radius::constant(r);
-            let dims = array_dims(ext, &rad);
-            let src = fill_pattern(dims, elem);
-            let d = crate::dim3::Neighborhood::Full26.directions()[dir_i];
-            let reg = src_region(ext, &rad, d);
-            let mut buf = vec![0u8; reg.volume() as usize * elem];
-            pack(&src, dims, elem, reg, &mut buf, 0);
-            let mut dst = src.clone();
-            // zero the region then unpack: must restore exactly
-            {
-                let zero = vec![0u8; buf.len()];
-                unpack(&zero, 0, &mut dst, dims, elem, reg);
+    /// Pack then unpack restores the region exactly, for every direction,
+    /// several element sizes, radii, and uneven extents.
+    #[test]
+    fn prop_pack_unpack_identity() {
+        for (ex, ey, ez) in [(2u64, 5, 7), (3, 3, 3), (7, 2, 4), (6, 6, 2)] {
+            for r in 1u64..3 {
+                for elem in [1usize, 4, 8] {
+                    for d in crate::dim3::Neighborhood::Full26.directions() {
+                        let ext = [ex.max(r), ey.max(r), ez.max(r)];
+                        let rad = Radius::constant(r);
+                        let dims = array_dims(ext, &rad);
+                        let src = fill_pattern(dims, elem);
+                        let reg = src_region(ext, &rad, d);
+                        let mut buf = vec![0u8; reg.volume() as usize * elem];
+                        pack(&src, dims, elem, reg, &mut buf, 0);
+                        let mut dst = src.clone();
+                        // zero the region then unpack: must restore exactly
+                        {
+                            let zero = vec![0u8; buf.len()];
+                            unpack(&zero, 0, &mut dst, dims, elem, reg);
+                        }
+                        unpack(&buf, 0, &mut dst, dims, elem, reg);
+                        assert_eq!(dst, src, "ext {ext:?} r={r} elem={elem} dir {d:?}");
+                    }
+                }
             }
-            unpack(&buf, 0, &mut dst, dims, elem, reg);
-            prop_assert_eq!(dst, src);
         }
+    }
 
-        #[test]
-        fn prop_regions_disjoint_src_dst(
-            r in 1u64..4, dir_i in 0usize..26,
-        ) {
-            let ext = [9u64, 9, 9];
-            let rad = Radius::constant(r);
-            let d = crate::dim3::Neighborhood::Full26.directions()[dir_i];
-            let s = src_region(ext, &rad, d);
-            let t = dst_region(ext, &rad, d);
-            // src lies fully in the interior; dst has at least one axis in
-            // the halo -> they cannot overlap
-            let overlap = (0..3).all(|a| {
-                let s0 = s.start[a]; let s1 = s0 + s.extent[a];
-                let t0 = t.start[a]; let t1 = t0 + t.extent[a];
-                s0 < t1 && t0 < s1
-            });
-            prop_assert!(!overlap, "src {s:?} overlaps dst {t:?}");
+    /// Source and destination halo regions never overlap, for every
+    /// direction and radius.
+    #[test]
+    fn prop_regions_disjoint_src_dst() {
+        for r in 1u64..4 {
+            for d in crate::dim3::Neighborhood::Full26.directions() {
+                let ext = [9u64, 9, 9];
+                let rad = Radius::constant(r);
+                let s = src_region(ext, &rad, d);
+                let t = dst_region(ext, &rad, d);
+                // src lies fully in the interior; dst has at least one axis in
+                // the halo -> they cannot overlap
+                let overlap = (0..3).all(|a| {
+                    let s0 = s.start[a];
+                    let s1 = s0 + s.extent[a];
+                    let t0 = t.start[a];
+                    let t1 = t0 + t.extent[a];
+                    s0 < t1 && t0 < s1
+                });
+                assert!(!overlap, "src {s:?} overlaps dst {t:?}");
+            }
         }
     }
 }

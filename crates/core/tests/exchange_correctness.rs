@@ -525,7 +525,10 @@ mod open_boundary {
             let out: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
             let o2 = Arc::clone(&out);
             run_world(WorldConfig::new(summit_cluster(1), 1), move |ctx| {
-                let dom = DomainBuilder::new([24, 18, 12]).radius(1).boundary(b).build(ctx);
+                let dom = DomainBuilder::new([24, 18, 12])
+                    .radius(1)
+                    .boundary(b)
+                    .build(ctx);
                 *o2.lock() = dom.plan_summary().total_sends();
             });
             let v = *out.lock();
@@ -645,8 +648,7 @@ mod consolidated {
         let time = |consolidate: bool| {
             let out: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
             let o2 = Arc::clone(&out);
-            let cfg = WorldConfig::new(summit_cluster(2), 6)
-                .data_mode(gpusim::DataMode::Virtual);
+            let cfg = WorldConfig::new(summit_cluster(2), 6).data_mode(gpusim::DataMode::Virtual);
             run_world(cfg, move |ctx| {
                 let dom = DomainBuilder::new([512, 512, 512])
                     .radius(2)

@@ -13,6 +13,7 @@
 use std::collections::VecDeque;
 
 use crate::kernel::Kernel;
+use crate::time::SimTime;
 
 /// Identifies a FIFO resource.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -32,7 +33,8 @@ struct Fifo {
     name: String,
     concurrency: usize,
     active: usize,
-    queue: VecDeque<Task>,
+    /// Waiting tasks with their submission times (for wait-time metrics).
+    queue: VecDeque<(SimTime, Task)>,
     completed: u64,
 }
 
@@ -67,12 +69,23 @@ impl Kernel {
         fifo: FifoId,
         task: impl FnOnce(&mut Kernel, FifoToken) + Send + 'static,
     ) {
+        let now = self.now();
         let f = &mut self.fifos.fifos[fifo.0];
         if f.active < f.concurrency && f.queue.is_empty() {
             f.active += 1;
+            if self.metrics.is_enabled() {
+                let name: &str = &self.fifos.fifos[fifo.0].name;
+                self.metrics
+                    .observe("fifo", "wait_ps", &[("fifo", name)], 0.0);
+            }
             task(self, FifoToken { fifo });
         } else {
-            f.queue.push_back(Box::new(task));
+            f.queue.push_back((now, Box::new(task)));
+            if self.metrics.is_enabled() {
+                let name: &str = &self.fifos.fifos[fifo.0].name;
+                self.metrics
+                    .gauge_add("fifo", "queue_depth", &[("fifo", name)], 1.0);
+            }
         }
     }
 
@@ -94,13 +107,22 @@ impl Kernel {
 
     /// Release the slot held by `token`; starts the next queued task, if any.
     pub fn fifo_task_done(&mut self, token: FifoToken) {
+        let now = self.now();
         let f = &mut self.fifos.fifos[token.fifo.0];
         debug_assert!(f.active > 0, "fifo_task_done without active task");
         f.active -= 1;
         f.completed += 1;
         if f.active < f.concurrency {
-            if let Some(next) = f.queue.pop_front() {
+            if let Some((submitted, next)) = f.queue.pop_front() {
                 f.active += 1;
+                if self.metrics.is_enabled() {
+                    let name: &str = &self.fifos.fifos[token.fifo.0].name;
+                    let wait = now.since(submitted).picos() as f64;
+                    self.metrics
+                        .observe("fifo", "wait_ps", &[("fifo", name)], wait);
+                    self.metrics
+                        .gauge_add("fifo", "queue_depth", &[("fifo", name)], -1.0);
+                }
                 next(self, FifoToken { fifo: token.fifo });
             }
         }

@@ -96,7 +96,12 @@ impl FlowNet {
 
 impl Kernel {
     /// Add a link with the given capacity (bytes/second) and one-way latency.
-    pub fn add_link(&mut self, name: impl Into<String>, capacity_bps: f64, latency: SimDuration) -> LinkId {
+    pub fn add_link(
+        &mut self,
+        name: impl Into<String>,
+        capacity_bps: f64,
+        latency: SimDuration,
+    ) -> LinkId {
         assert!(
             capacity_bps > 0.0 && capacity_bps.is_finite(),
             "link capacity must be positive and finite"
@@ -150,8 +155,9 @@ impl Kernel {
 
     /// Sum of one-way latencies along `path`.
     pub fn path_latency(&self, path: &[LinkId]) -> SimDuration {
-        path.iter()
-            .fold(SimDuration::ZERO, |acc, l| acc + self.flows.links[l.0].latency)
+        path.iter().fold(SimDuration::ZERO, |acc, l| {
+            acc + self.flows.links[l.0].latency
+        })
     }
 
     /// Minimum capacity along `path` (the zero-contention bandwidth).
@@ -200,8 +206,44 @@ impl Kernel {
                 link.flows.insert(id);
             }
             affected.insert(id);
+            if k.metrics.is_enabled() {
+                for l in &path {
+                    let name: &str = &k.flows.links[l.0].name;
+                    k.metrics
+                        .gauge_add("flow", "link_active_flows", &[("link", name)], 1.0);
+                }
+                k.metrics.gauge_add("flow", "active_flows", &[], 1.0);
+            }
             k.reshare(&affected);
         });
+    }
+
+    /// Settle a link's busy-byte integral at `now`, then apply `delta` to its
+    /// load. When the metrics registry is enabled, also records the link's
+    /// utilization (time-weighted by the settled interval) and busy time.
+    fn settle_link(&mut self, l: LinkId, now: SimTime, delta: f64) {
+        let link = &mut self.flows.links[l.0];
+        let dt = now.since(link.last_change);
+        let secs = dt.as_secs_f64();
+        link.busy_bytes += link.load * secs;
+        link.last_change = now;
+        let old_load = link.load;
+        link.load += delta;
+        if self.metrics.is_enabled() && dt > SimDuration::ZERO {
+            let util = old_load / link.capacity;
+            let name: &str = &link.name;
+            self.metrics.observe_weighted(
+                "flow",
+                "link_utilization",
+                &[("link", name)],
+                util,
+                secs,
+            );
+            if old_load > 0.0 {
+                self.metrics
+                    .counter_add("flow", "link_busy_ps", &[("link", name)], dt.picos());
+            }
+        }
     }
 
     /// Settle remaining bytes and recompute rates for `affected` flows, then
@@ -222,11 +264,7 @@ impl Kernel {
             let path = flow.path.clone();
             let old_rate = flow.rate;
             for l in &path {
-                let link = &mut self.flows.links[l.0];
-                let dt = now.since(link.last_change).as_secs_f64();
-                link.busy_bytes += link.load * dt;
-                link.last_change = now;
-                link.load += rate - old_rate;
+                self.settle_link(*l, now, rate - old_rate);
             }
             let flow = self.flows.flows[fid.0].as_mut().unwrap();
             // Settle progress at the old rate.
@@ -274,11 +312,22 @@ impl Kernel {
             let link = &mut self.flows.links[l.0];
             link.flows.remove(&fid);
             link.delivered += flow.total;
-            let dt = now.since(link.last_change).as_secs_f64();
-            link.busy_bytes += link.load * dt;
-            link.last_change = now;
-            link.load -= flow.rate;
-            affected.extend(link.flows.iter().copied());
+            self.settle_link(*l, now, -flow.rate);
+            if self.metrics.is_enabled() {
+                let name: &str = &self.flows.links[l.0].name;
+                self.metrics.counter_add(
+                    "flow",
+                    "link_delivered_bytes",
+                    &[("link", name)],
+                    flow.total,
+                );
+                self.metrics
+                    .gauge_add("flow", "link_active_flows", &[("link", name)], -1.0);
+            }
+            affected.extend(self.flows.links[l.0].flows.iter().copied());
+        }
+        if self.metrics.is_enabled() {
+            self.metrics.gauge_add("flow", "active_flows", &[], -1.0);
         }
         self.reshare(&affected);
         if let Some(cb) = flow.on_done {

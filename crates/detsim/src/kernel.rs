@@ -19,6 +19,7 @@ use parking_lot::Mutex;
 
 use crate::fifo::FifoTable;
 use crate::flow::FlowNet;
+use crate::metrics::Metrics;
 use crate::sched::SchedState;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
@@ -104,6 +105,8 @@ pub struct Kernel {
     pub(crate) sched: SchedState,
     /// Trace recorder (spans + instants) for timeline output.
     pub trace: Trace,
+    /// Metrics registry (counters, gauges, histograms); disabled by default.
+    pub metrics: Metrics,
     executed_events: u64,
 }
 
@@ -124,6 +127,7 @@ impl Kernel {
             fifos: FifoTable::new(),
             sched: SchedState::new(),
             trace: Trace::new(),
+            metrics: Metrics::new(),
             executed_events: 0,
         }
     }
@@ -154,7 +158,11 @@ impl Kernel {
     }
 
     /// Schedule `action` to run `d` from now.
-    pub fn schedule_in(&mut self, d: SimDuration, action: impl FnOnce(&mut Kernel) + Send + 'static) {
+    pub fn schedule_in(
+        &mut self,
+        d: SimDuration,
+        action: impl FnOnce(&mut Kernel) + Send + 'static,
+    ) {
         self.schedule_at(self.now + d, action);
     }
 
@@ -212,7 +220,11 @@ impl Kernel {
     }
 
     /// Run `action` when `c` completes; immediately if it already has.
-    pub fn on_complete(&mut self, c: &Completion, action: impl FnOnce(&mut Kernel) + Send + 'static) {
+    pub fn on_complete(
+        &mut self,
+        c: &Completion,
+        action: impl FnOnce(&mut Kernel) + Send + 'static,
+    ) {
         let mut st = c.0.lock();
         match &mut *st {
             CompletionState::Pending { callbacks, .. } => {
@@ -395,6 +407,9 @@ mod tests {
             k.schedule_at(SimTime::ZERO, move |k| *f3.lock() = k.now());
         });
         k.run_to_completion();
-        assert_eq!(*fired_at.lock(), SimTime::ZERO + SimDuration::from_micros(10));
+        assert_eq!(
+            *fired_at.lock(),
+            SimTime::ZERO + SimDuration::from_micros(10)
+        );
     }
 }

@@ -20,6 +20,11 @@
 //!   order; blocking operations advance virtual time.
 //! * **Tracing** ([`trace::Trace`]) — span timelines exportable as Chrome
 //!   trace JSON or ASCII art (reproduces the paper's Fig. 9).
+//! * **Metrics** ([`Metrics`]) — a deterministic registry of counters,
+//!   gauges, and histograms fed by the flow network, the FIFOs, and the
+//!   upper layers; disabled by default with near-zero overhead, rendered
+//!   as a text table or JSON by [`MetricsReport`] (see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! ## Example: two ranks ping-ponging over a shared link
 //!
@@ -47,6 +52,8 @@
 mod fifo;
 mod flow;
 mod kernel;
+pub mod metrics;
+mod park;
 mod sched;
 mod time;
 pub mod trace;
@@ -54,5 +61,6 @@ pub mod trace;
 pub use fifo::{FifoId, FifoToken};
 pub use flow::{FlowId, LinkId};
 pub use kernel::{Action, Completion, Kernel};
+pub use metrics::{Metrics, MetricsReport};
 pub use sched::{Program, Sim, SimCtx};
 pub use time::{SimDuration, SimTime, PS_PER_SEC};

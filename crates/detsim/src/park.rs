@@ -1,0 +1,118 @@
+//! A minimal thread parker (the `crossbeam::sync::Parker` API surface the
+//! scheduler needs), implemented over `std::sync::{Mutex, Condvar}` so the
+//! crate has no external dependencies.
+//!
+//! Semantics: an [`Unparker`] deposits a single token; [`Parker::park`]
+//! consumes a token, blocking until one is available. Tokens do not
+//! accumulate — many `unpark`s before a `park` release exactly one `park`.
+//! Spurious wakeups are absorbed by the token check.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Inner {
+    token: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// The blocking side: owned by the thread that waits.
+pub(crate) struct Parker {
+    inner: Arc<Inner>,
+}
+
+/// The waking side: cloneable handle that deposits run tokens.
+#[derive(Clone)]
+pub(crate) struct Unparker {
+    inner: Arc<Inner>,
+}
+
+impl Parker {
+    /// A fresh parker with no token deposited.
+    pub(crate) fn new() -> Self {
+        Parker {
+            inner: Arc::new(Inner {
+                token: Mutex::new(false),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// An [`Unparker`] paired with this parker.
+    pub(crate) fn unparker(&self) -> Unparker {
+        Unparker {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Block until a token is available, then consume it.
+    pub(crate) fn park(&self) {
+        let mut token = self
+            .inner
+            .token
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while !*token {
+            token = self
+                .inner
+                .cv
+                .wait(token)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        *token = false;
+    }
+}
+
+impl Unparker {
+    /// Deposit a token, waking the parked thread if there is one.
+    pub(crate) fn unpark(&self) {
+        let mut token = self
+            .inner
+            .token
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *token = true;
+        drop(token);
+        self.inner.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unpark_before_park_does_not_block() {
+        let p = Parker::new();
+        p.unparker().unpark();
+        p.park(); // must return immediately
+    }
+
+    #[test]
+    fn park_blocks_until_unpark() {
+        let p = Parker::new();
+        let u = p.unparker();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            u.unpark();
+        });
+        p.park();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn tokens_do_not_accumulate() {
+        let p = Parker::new();
+        let u = p.unparker();
+        u.unpark();
+        u.unpark();
+        p.park();
+        // a second park must block again; unpark from another thread
+        let u2 = p.unparker();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            u2.unpark();
+        });
+        p.park();
+        h.join().unwrap();
+    }
+}

@@ -15,8 +15,9 @@ use std::collections::BTreeSet;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
-use crossbeam::sync::{Parker, Unparker};
 use parking_lot::{Mutex, MutexGuard};
+
+use crate::park::{Parker, Unparker};
 
 use crate::kernel::{Completion, Kernel};
 use crate::time::{SimDuration, SimTime};
@@ -140,7 +141,7 @@ impl Sim {
             k.sched.unparkers.clear();
             for _ in 0..n {
                 let p = Parker::new();
-                k.sched.unparkers.push(p.unparker().clone());
+                k.sched.unparkers.push(p.unparker());
                 parkers.push(p);
             }
             for tid in 0..n {

@@ -186,7 +186,8 @@ impl Trace {
                     continue;
                 }
                 any = true;
-                let a = ((s.start.picos() - t_min) as u128 * width as u128 / t_end as u128) as usize;
+                let a =
+                    ((s.start.picos() - t_min) as u128 * width as u128 / t_end as u128) as usize;
                 let b = ((s.end.picos() - t_min) as u128 * width as u128 / t_end as u128) as usize;
                 let b = b.clamp(a + 1, width).max(a + 1).min(width);
                 let ch = s.category.bytes().next().unwrap_or(b'#');

@@ -1,8 +1,8 @@
 #[test]
 fn staggered_flows_respect_capacity() {
     use detsim::{Kernel, SimDuration};
-    use std::sync::Arc;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
     let mut k = Kernel::new();
     let l = k.add_link("l", 25e9, SimDuration::from_micros(1));
     let last_end = Arc::new(AtomicU64::new(0));
@@ -24,11 +24,13 @@ fn staggered_flows_respect_capacity() {
 #[test]
 fn random_staggered_flows_never_exceed_capacity() {
     use detsim::{Kernel, SimDuration};
-    use std::sync::Arc;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
     let mut state = 42u64;
     let mut rnd = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     };
     for trial in 0..50 {
@@ -53,7 +55,8 @@ fn random_staggered_flows_never_exceed_capacity() {
             });
         }
         k.run_to_completion();
-        let window = (last_end.load(Ordering::SeqCst) - first_start.load(Ordering::SeqCst)) as f64 / 1e12;
+        let window =
+            (last_end.load(Ordering::SeqCst) - first_start.load(Ordering::SeqCst)) as f64 / 1e12;
         let floor = total as f64 / cap;
         assert!(
             window >= floor * 0.999,
@@ -67,7 +70,9 @@ fn peak_utilization_never_exceeds_one() {
     use detsim::{Kernel, SimDuration};
     let mut state = 7u64;
     let mut rnd = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     };
     for trial in 0..200 {
@@ -88,8 +93,10 @@ fn peak_utilization_never_exceeds_one() {
         k.run_to_completion();
         let u1 = k.link_peak_utilization(l);
         let u2 = k.link_peak_utilization(l2);
-        assert!(u1 <= 1.0 + 1e-9 && u2 <= 1.0 + 1e-9,
-            "trial {trial}: over-allocation u1={u1} u2={u2}");
+        assert!(
+            u1 <= 1.0 + 1e-9 && u2 <= 1.0 + 1e-9,
+            "trial {trial}: over-allocation u1={u1} u2={u2}"
+        );
     }
 }
 

@@ -1,12 +1,15 @@
-//! Property tests for the fair-share flow network: conservation, fairness,
-//! monotonicity, and determinism under randomized workloads.
+//! Property-style tests for the fair-share flow network: conservation,
+//! fairness, monotonicity, and determinism under randomized workloads.
+//!
+//! Cases are driven by a deterministic xorshift generator over fixed seed
+//! ranges (no external property-testing dependency), so every run exercises
+//! the same inputs.
 
 use detsim::{Kernel, SimDuration};
-use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Deterministic xorshift for workload generation inside proptest cases.
+/// Deterministic xorshift for workload generation.
 fn rng(seed: u64) -> impl FnMut() -> u64 {
     let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     move || {
@@ -17,14 +20,13 @@ fn rng(seed: u64) -> impl FnMut() -> u64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// No link ever runs above capacity, and total delivered bytes match
-    /// the load integral, for arbitrary multi-link flow mixes.
-    #[test]
-    fn prop_capacity_and_conservation(seed in 0u64..10_000, nflows in 1usize..80) {
-        let mut r = rng(seed);
+/// No link ever runs above capacity, and total delivered bytes match the
+/// load integral, for arbitrary multi-link flow mixes.
+#[test]
+fn prop_capacity_and_conservation() {
+    for case in 0u64..40 {
+        let mut r = rng(case * 251 + 17);
+        let nflows = 1 + (case as usize * 2) % 80;
         let mut k = Kernel::new();
         let links: Vec<_> = (0..4)
             .map(|i| {
@@ -38,7 +40,7 @@ proptest! {
         for _ in 0..nflows {
             let bytes = 1 + r() % 8_000_000;
             let at = SimDuration::from_nanos(r() % 4_000_000);
-            // path of 1-3 distinct links
+            // path of 1-2 distinct links
             let mut path = vec![links[(r() % 4) as usize]];
             if r().is_multiple_of(2) {
                 let l = links[(r() % 4) as usize];
@@ -52,24 +54,85 @@ proptest! {
         }
         k.run_to_completion();
         for &l in &links {
-            prop_assert!(
+            assert!(
                 k.link_peak_utilization(l) <= 1.0 + 1e-9,
-                "link over capacity: {}",
+                "case {case}: link over capacity: {}",
                 k.link_peak_utilization(l)
             );
             let busy = k.link_busy_bytes(l);
             let delivered = k.link_delivered(l) as f64;
-            prop_assert!(
+            assert!(
                 (busy - delivered).abs() <= delivered * 1e-6 + 1.0,
-                "integral {busy} != delivered {delivered}"
+                "case {case}: integral {busy} != delivered {delivered}"
             );
         }
-        prop_assert_eq!(k.active_flows(), 0);
+        assert_eq!(k.active_flows(), 0, "case {case}");
     }
+}
 
-    /// Two identical flows arriving together finish together (fairness).
-    #[test]
-    fn prop_equal_flows_finish_together(bytes in 1_000u64..5_000_000, n in 2usize..12) {
+/// The per-link delivered-bytes metric must equal `link_delivered` exactly,
+/// and busy time must never exceed elapsed time.
+#[test]
+fn prop_metrics_conserve_link_bytes() {
+    for case in 0u64..20 {
+        let mut r = rng(case * 7919 + 3);
+        let mut k = Kernel::new();
+        k.metrics.enable();
+        let links: Vec<_> = (0..3)
+            .map(|i| {
+                k.add_link(
+                    format!("l{i}"),
+                    1e9 * (1.0 + (r() % 5) as f64),
+                    SimDuration::from_nanos(r() % 1000),
+                )
+            })
+            .collect();
+        for _ in 0..(5 + (case as usize * 3) % 40) {
+            let bytes = 1 + r() % 4_000_000;
+            let at = SimDuration::from_nanos(r() % 2_000_000);
+            let path = vec![links[(r() % 3) as usize]];
+            k.schedule_in(at, move |k| {
+                k.start_flow(&path, bytes, |_| {});
+            });
+        }
+        k.run_to_completion();
+        let elapsed = k.now().picos();
+        for (i, &l) in links.iter().enumerate() {
+            let name = format!("l{i}");
+            let metric = k
+                .metrics
+                .counter("flow", "link_delivered_bytes", &[("link", &name)]);
+            assert_eq!(
+                metric,
+                k.link_delivered(l),
+                "case {case}: metric bytes != link_delivered on {name}"
+            );
+            let busy = k
+                .metrics
+                .counter("flow", "link_busy_ps", &[("link", &name)]);
+            assert!(
+                busy <= elapsed,
+                "case {case}: busy {busy} ps exceeds elapsed {elapsed} ps"
+            );
+            // the active-flow gauge must have drained back to zero
+            if let Some(g) = k
+                .metrics
+                .gauge("flow", "link_active_flows", &[("link", &name)])
+            {
+                assert_eq!(g.current, 0.0, "case {case}: flows left on {name}");
+                assert!(g.max >= 1.0, "case {case}: no high-water mark on {name}");
+            }
+        }
+    }
+}
+
+/// Two identical flows arriving together finish together (fairness).
+#[test]
+fn prop_equal_flows_finish_together() {
+    for case in 0u64..30 {
+        let mut r = rng(case + 101);
+        let bytes = 1_000 + r() % 4_999_000;
+        let n = 2 + (r() % 10) as usize;
         let mut k = Kernel::new();
         let l = k.add_link("l", 2e9, SimDuration::from_micros(1));
         let ends: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
@@ -83,19 +146,26 @@ proptest! {
         let first = ends[0].load(Ordering::SeqCst);
         for e in &ends {
             let v = e.load(Ordering::SeqCst);
-            prop_assert!(v > 0);
+            assert!(v > 0, "case {case}");
             // picosecond rounding can separate them by a hair
-            prop_assert!(v.abs_diff(first) <= n as u64);
+            assert!(v.abs_diff(first) <= n as u64, "case {case}");
         }
         // and the shared link serves them at exactly cap/n each
         let expect = bytes as f64 / (2e9 / n as f64);
         let got = first as f64 / 1e12 - 1e-6;
-        prop_assert!((got - expect).abs() < expect * 1e-6 + 1e-9);
+        assert!(
+            (got - expect).abs() < expect * 1e-6 + 1e-9,
+            "case {case}: got {got}, expect {expect}"
+        );
     }
+}
 
-    /// Adding extra background load never makes a probe flow finish sooner.
-    #[test]
-    fn prop_contention_is_monotone(seed in 0u64..5_000, extra in 0usize..20) {
+/// Adding extra background load never makes a probe flow finish sooner.
+#[test]
+fn prop_contention_is_monotone() {
+    for case in 0u64..25 {
+        let seed = case * 191 + 7;
+        let extra = (case as usize * 3) % 20;
         let run = |extra: usize| {
             let mut r = rng(seed);
             let mut k = Kernel::new();
@@ -115,15 +185,23 @@ proptest! {
         };
         let alone = run(0);
         let loaded = run(extra);
-        prop_assert!(loaded >= alone, "background load sped the probe up: {alone} -> {loaded}");
+        assert!(
+            loaded >= alone,
+            "case {case}: background load sped the probe up: {alone} -> {loaded}"
+        );
     }
+}
 
-    /// Identical workloads produce bit-identical completion schedules.
-    #[test]
-    fn prop_flow_schedule_deterministic(seed in 0u64..5_000) {
+/// Identical workloads produce bit-identical completion schedules — and
+/// bit-identical metrics reports.
+#[test]
+fn prop_flow_schedule_deterministic() {
+    for case in 0u64..15 {
+        let seed = case * 47 + 11;
         let run = || {
             let mut r = rng(seed);
             let mut k = Kernel::new();
+            k.metrics.enable();
             let a = k.add_link("a", 3e9, SimDuration::from_nanos(500));
             let b = k.add_link("b", 1e9, SimDuration::from_nanos(100));
             let log: Arc<parking_lot::Mutex<Vec<(u64, u64)>>> =
@@ -142,8 +220,14 @@ proptest! {
             }
             k.run_to_completion();
             let v = log.lock().clone();
-            v
+            (v, k.metrics.report().to_json())
         };
-        prop_assert_eq!(run(), run());
+        let (sched1, json1) = run();
+        let (sched2, json2) = run();
+        assert_eq!(
+            sched1, sched2,
+            "case {case}: schedule must be deterministic"
+        );
+        assert_eq!(json1, json2, "case {case}: metrics must be bit-identical");
     }
 }

@@ -95,7 +95,10 @@ impl Buffer {
     /// Run `f` with mutable access to the backing bytes (used by simulated
     /// kernels for in-place compute). Panics in virtual data mode.
     pub fn with_data<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        let data = self.data.as_ref().expect("with_data on virtual-mode buffer");
+        let data = self
+            .data
+            .as_ref()
+            .expect("with_data on virtual-mode buffer");
         let mut g = data.lock();
         f(&mut g)
     }
@@ -146,7 +149,11 @@ impl std::fmt::Debug for Buffer {
             "Buffer({:?}, {}B, {})",
             self.placement,
             self.len,
-            if self.data.is_some() { "full" } else { "virtual" }
+            if self.data.is_some() {
+                "full"
+            } else {
+                "virtual"
+            }
         )
     }
 }

@@ -18,6 +18,24 @@
 //! only virtual time in [`DataMode::Virtual`] (paper-scale benchmarks). Time
 //! comes from the fabric's link model plus a small [`GpuCostModel`] of
 //! driver/launch overheads.
+//!
+//! When metrics are enabled on the `detsim` kernel, every memcpy and kernel
+//! launch is counted per device and direction (see `docs/OBSERVABILITY.md`).
+//!
+//! ## Example: a machine over one simulated Summit node
+//!
+//! ```
+//! use detsim::Kernel;
+//! use gpusim::{DataMode, GpuCostModel, GpuMachine};
+//! use topo::summit::summit_cluster;
+//!
+//! let mut k = Kernel::new();
+//! let m = GpuMachine::new(&mut k, summit_cluster(1), GpuCostModel::default(), DataMode::Full);
+//! assert_eq!(m.num_devices(), 6);
+//! let buf = m.alloc_device_untimed(0, 1 << 20).unwrap();
+//! assert_eq!(m.device_mem_used(0), 1 << 20);
+//! m.free_device(&buf);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -49,7 +49,12 @@ pub struct GpuMachine {
 
 impl GpuMachine {
     /// Build the machine inside `kernel` from a cluster description.
-    pub fn new(kernel: &mut Kernel, cluster: ClusterSpec, cfg: GpuCostModel, mode: DataMode) -> Self {
+    pub fn new(
+        kernel: &mut Kernel,
+        cluster: ClusterSpec,
+        cfg: GpuCostModel,
+        mode: DataMode,
+    ) -> Self {
         let discovery = NodeDiscovery::discover(&cluster.node);
         let gpus_per_node = cluster.node.num_gpus();
         let num_nodes = cluster.num_nodes;
@@ -194,7 +199,10 @@ impl GpuMachine {
         ctx.delay(self.inner.cfg.alloc_overhead);
         self.alloc_host_untimed(
             self.node_of(device),
-            self.inner.fabric.node_spec().gpu_socket(self.local_of(device)),
+            self.inner
+                .fabric
+                .node_spec()
+                .gpu_socket(self.local_of(device)),
             len,
         )
     }

@@ -64,7 +64,11 @@ impl GpuMachine {
                 )
             }
             (Placement::Host(n, s), Placement::Device(d)) => {
-                assert_eq!(self.node_of(d), n, "H2D copy from a different node's memory");
+                assert_eq!(
+                    self.node_of(d),
+                    n,
+                    "H2D copy from a different node's memory"
+                );
                 (
                     "H2D",
                     fabric.node_path(
@@ -110,8 +114,27 @@ impl GpuMachine {
         len: u64,
     ) -> Completion {
         assert!(src_off + len <= src.len(), "memcpy source out of range");
-        assert!(dst_off + len <= dst.len(), "memcpy destination out of range");
+        assert!(
+            dst_off + len <= dst.len(),
+            "memcpy destination out of range"
+        );
         let (label, path) = self.classify(src, dst);
+        if k.metrics.is_enabled() {
+            let device = self.stream_device(stream);
+            let dev = format!("n{}.g{}", self.node_of(device), self.local_of(device));
+            k.metrics.counter_add(
+                "gpusim",
+                "memcpy_bytes",
+                &[("dev", &dev), ("dir", label)],
+                len,
+            );
+            k.metrics.counter_add(
+                "gpusim",
+                "memcpy_count",
+                &[("dev", &dev), ("dir", label)],
+                1,
+            );
+        }
         let fifo = self.stream_fifo(stream);
         let track = self.stream_track(stream);
         let latency = self.cost_model().memcpy_latency;
@@ -164,6 +187,13 @@ impl GpuMachine {
         let fifo = self.stream_fifo(stream);
         let track = self.stream_track(stream);
         let label = label.into();
+        if k.metrics.is_enabled() {
+            let dev = format!("n{}.g{}", self.node_of(device), self.local_of(device));
+            k.metrics
+                .counter_add("gpusim", "kernel_launches", &[("dev", &dev)], 1);
+            k.metrics
+                .counter_add("gpusim", "kernel_bytes", &[("dev", &dev)], bytes);
+        }
         let done = k.completion();
         let d2 = done.clone();
         k.fifo_submit(fifo, move |k, token| {
@@ -322,7 +352,10 @@ mod tests {
             let c2 = m2.memcpy_async(ctx, s, &host, 0, &dev, 0, 50_000_000);
             ctx.wait_all(&[c1, c2]);
             let dt = ctx.now().since(t0).as_secs_f64();
-            assert!(dt > 0.002, "two 1ms copies on one stream must serialize: {dt}");
+            assert!(
+                dt > 0.002,
+                "two 1ms copies on one stream must serialize: {dt}"
+            );
         });
     }
 

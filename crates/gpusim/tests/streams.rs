@@ -34,14 +34,26 @@ fn mixed_ops_on_one_stream_run_in_issue_order() {
         let host = m2.alloc_host_untimed(0, 0, 1024);
         let s = m2.default_stream(0);
         let o1 = Arc::clone(&o);
-        let _k1 = m2.launch_kernel(ctx, s, "a", 1 << 20, Some(Box::new(move || o1.lock().push("kernel-a"))));
+        let _k1 = m2.launch_kernel(
+            ctx,
+            s,
+            "a",
+            1 << 20,
+            Some(Box::new(move || o1.lock().push("kernel-a"))),
+        );
         let c = m2.memcpy_async(ctx, s, &host, 0, &dev, 0, 1024);
         let o2 = Arc::clone(&o);
         ctx.with_kernel(|k| {
             k.on_complete(&c, move |_| o2.lock().push("copy"));
         });
         let o3 = Arc::clone(&o);
-        let k2 = m2.launch_kernel(ctx, s, "b", 1 << 20, Some(Box::new(move || o3.lock().push("kernel-b"))));
+        let k2 = m2.launch_kernel(
+            ctx,
+            s,
+            "b",
+            1 << 20,
+            Some(Box::new(move || o3.lock().push("kernel-b"))),
+        );
         ctx.wait(&k2);
     });
     assert_eq!(*order.lock(), vec!["kernel-a", "copy", "kernel-b"]);
@@ -153,9 +165,8 @@ fn virtual_mode_costs_identical_to_full_mode() {
     // The cost model must not depend on whether real bytes move.
     let run = |mode: DataMode| {
         let mut sim = Sim::new();
-        let m = sim.with_kernel(|k| {
-            GpuMachine::new(k, summit_cluster(1), GpuCostModel::default(), mode)
-        });
+        let m = sim
+            .with_kernel(|k| GpuMachine::new(k, summit_cluster(1), GpuCostModel::default(), mode));
         let out = Arc::new(Mutex::new(0u64));
         let o = Arc::clone(&out);
         sim.run(1, move |ctx| {

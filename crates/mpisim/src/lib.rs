@@ -18,6 +18,33 @@
 //! * `MPI_Barrier`, `MPI_Wtime`;
 //! * a typed out-of-band channel for setup metadata and `cudaIpc` handles
 //!   ([`RankCtx::send_obj`] / [`RankCtx::recv_obj`]).
+//!
+//! Enable [`WorldConfig::metrics`] to collect message/transport counters and
+//! match-latency histograms in [`WorldReport::metrics`] (see
+//! `docs/OBSERVABILITY.md`).
+//!
+//! ## Example: a two-rank ping
+//!
+//! ```
+//! use mpisim::{run_world, WorldConfig};
+//! use topo::summit::summit_cluster;
+//!
+//! let report = run_world(WorldConfig::new(summit_cluster(1), 2), |ctx| {
+//!     let m = ctx.machine();
+//!     if ctx.rank() == 0 {
+//!         let buf = m.alloc_host_untimed(0, 0, 64);
+//!         buf.write(0, &[42u8; 64]);
+//!         ctx.send(&buf, 0, 64, 1, 7);
+//!     } else {
+//!         let buf = m.alloc_host_untimed(0, 1, 64);
+//!         ctx.recv(&buf, 0, 64, 0, 7);
+//!         let mut got = [0u8; 64];
+//!         buf.read(0, &mut got);
+//!         assert_eq!(got, [42u8; 64]);
+//!     }
+//! });
+//! assert!(report.elapsed > detsim::SimDuration::ZERO);
+//! ```
 
 #![warn(missing_docs)]
 

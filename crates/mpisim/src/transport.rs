@@ -5,7 +5,7 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use detsim::{Completion, Kernel, LinkId, SimDuration};
+use detsim::{Completion, Kernel, LinkId, SimDuration, SimTime};
 use gpusim::{Buffer, GpuMachine, Placement};
 use parking_lot::Mutex;
 
@@ -37,6 +37,8 @@ struct PendingMsg {
     len: u64,
     done: Completion,
     rank: usize,
+    /// When the operation was posted (for match-latency metrics).
+    posted: SimTime,
 }
 
 #[derive(Default)]
@@ -125,7 +127,10 @@ impl MpiState {
         len: u64,
     ) -> Request {
         assert!(off + len <= buf.len(), "isend region out of range");
-        assert!(dst_rank < self.num_ranks, "isend to invalid rank {dst_rank}");
+        assert!(
+            dst_rank < self.num_ranks,
+            "isend to invalid rank {dst_rank}"
+        );
         let done = k.completion();
         let msg = PendingMsg {
             buf: buf.clone(),
@@ -133,6 +138,7 @@ impl MpiState {
             len,
             done: done.clone(),
             rank: src_rank,
+            posted: k.now(),
         };
         let matched = {
             let mut q = self.queues.lock();
@@ -146,6 +152,7 @@ impl MpiState {
             }
         };
         if let Ok((send, recv)) = matched {
+            self.record_match(k, "recv", recv.posted);
             self.start_transfer(k, send, recv);
         }
         Request(done)
@@ -164,7 +171,10 @@ impl MpiState {
         len: u64,
     ) -> Request {
         assert!(off + len <= buf.len(), "irecv region out of range");
-        assert!(src_rank < self.num_ranks, "irecv from invalid rank {src_rank}");
+        assert!(
+            src_rank < self.num_ranks,
+            "irecv from invalid rank {src_rank}"
+        );
         let done = k.completion();
         let msg = PendingMsg {
             buf: buf.clone(),
@@ -172,6 +182,7 @@ impl MpiState {
             len,
             done: done.clone(),
             rank: dst_rank,
+            posted: k.now(),
         };
         let matched = {
             let mut q = self.queues.lock();
@@ -185,9 +196,20 @@ impl MpiState {
             }
         };
         if let Ok((send, recv)) = matched {
+            self.record_match(k, "send", send.posted);
             self.start_transfer(k, send, recv);
         }
         Request(done)
+    }
+
+    /// Record how long the queued side of a newly matched pair sat waiting
+    /// for its partner. `side` names the operation that was posted first.
+    fn record_match(&self, k: &mut Kernel, side: &'static str, posted: SimTime) {
+        if k.metrics.is_enabled() {
+            let wait = k.now().since(posted).picos() as f64;
+            k.metrics
+                .observe("mpi", "match_wait_ps", &[("side", side)], wait);
+        }
     }
 
     fn start_transfer(&self, k: &mut Kernel, send: PendingMsg, recv: PendingMsg) {
@@ -197,6 +219,17 @@ impl MpiState {
             recv.len,
             send.len
         );
+        if k.metrics.is_enabled() {
+            let protocol = if send.len > self.cfg.eager_threshold {
+                "rendezvous"
+            } else {
+                "eager"
+            };
+            k.metrics
+                .counter_add("mpi", "messages", &[("protocol", protocol)], 1);
+            k.metrics
+                .counter_add("mpi", "message_bytes", &[("protocol", protocol)], send.len);
+        }
         let device_involved = send.buf.device().is_some() || recv.buf.device().is_some();
         if device_involved {
             assert!(
@@ -228,16 +261,21 @@ impl MpiState {
             // Shared-memory transport: the sender's progress engine pumps
             // the bytes; cross-socket copies also ride the X-Bus.
             let mut p = vec![self.shm_link[send.rank]];
-            p.extend(fabric.node_path(
-                n1,
-                fabric.node_spec().cpu(s1),
-                fabric.node_spec().cpu(s2),
-            ));
+            p.extend(fabric.node_path(n1, fabric.node_spec().cpu(s1), fabric.node_spec().cpu(s2)));
             p
         } else {
             fabric.internode_host_path(n1, s1, n2, s2)
         };
         let label = if n1 == n2 { "MPI shm" } else { "MPI net" };
+        if k.metrics.is_enabled() {
+            let transport = if n1 == n2 { "shm" } else { "net" };
+            k.metrics.counter_add(
+                "mpi",
+                "transport_bytes",
+                &[("transport", transport)],
+                send.len,
+            );
+        }
         self.flow_transfer(k, path, self.protocol_latency(send.len), send, recv, label);
     }
 
@@ -285,6 +323,14 @@ impl MpiState {
         };
         let overhead = self.cfg.cuda_aware_overhead + self.protocol_latency(send.len);
         let bytes = send.len;
+        if k.metrics.is_enabled() {
+            k.metrics.counter_add(
+                "mpi",
+                "transport_bytes",
+                &[("transport", "cuda-aware")],
+                bytes,
+            );
+        }
         let track = self.rank_track[send.rank];
 
         let landed = k.completion();
@@ -298,7 +344,9 @@ impl MpiState {
         // for each one prevents any overlap.
         let src_dev = send.buf.device();
         let dst_dev = recv.buf.device().filter(|d| Some(*d) != send.buf.device());
-        let primary = src_dev.or(recv.buf.device()).expect("cuda-aware without device");
+        let primary = src_dev
+            .or(recv.buf.device())
+            .expect("cuda-aware without device");
 
         let machine = self.machine.clone();
         let fifo_primary = machine.stream_fifo(machine.default_stream(primary));
@@ -377,6 +425,4 @@ impl MpiState {
             }
         }
     }
-
 }
-

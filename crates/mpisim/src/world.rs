@@ -28,6 +28,8 @@ pub struct WorldConfig {
     pub cuda_aware: bool,
     /// Record a timeline trace.
     pub trace: bool,
+    /// Record metrics (counters, gauges, histograms across every layer).
+    pub metrics: bool,
 }
 
 impl WorldConfig {
@@ -41,6 +43,7 @@ impl WorldConfig {
             data_mode: DataMode::Full,
             cuda_aware: false,
             trace: false,
+            metrics: false,
         }
     }
 
@@ -59,6 +62,14 @@ impl WorldConfig {
     /// Enable timeline tracing.
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Enable metrics collection (disabled by default; zero overhead when
+    /// off). The collected registry is returned as
+    /// [`WorldReport::metrics`].
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
         self
     }
 
@@ -85,6 +96,8 @@ pub struct WorldReport {
     pub trace_json: Option<String>,
     /// ASCII timeline, if tracing was enabled.
     pub trace_ascii: Option<String>,
+    /// Metrics registry snapshot, if metrics were enabled.
+    pub metrics: Option<detsim::MetricsReport>,
 }
 
 /// Run `program` once per rank on a freshly built world. Blocks until every
@@ -99,7 +112,11 @@ where
     let num_ranks = config.num_ranks();
     assert!(num_ranks > 0, "world with zero ranks");
     assert!(
-        config.cluster.node.num_gpus().is_multiple_of(config.ranks_per_node),
+        config
+            .cluster
+            .node
+            .num_gpus()
+            .is_multiple_of(config.ranks_per_node),
         "ranks per node ({}) must divide GPUs per node ({})",
         config.ranks_per_node,
         config.cluster.node.num_gpus()
@@ -108,6 +125,9 @@ where
     let st = sim.with_kernel(|k| {
         if config.trace {
             k.trace.enable();
+        }
+        if config.metrics {
+            k.metrics.enable();
         }
         let machine = GpuMachine::new(
             k,
@@ -168,6 +188,7 @@ where
         executed_events: k.executed_events(),
         trace_json: k.trace.is_enabled().then(|| k.trace.to_chrome_json()),
         trace_ascii: k.trace.is_enabled().then(|| k.trace.to_ascii(100)),
+        metrics: k.metrics.is_enabled().then(|| k.metrics.report()),
     })
 }
 

@@ -61,12 +61,8 @@ impl Fabric {
             let mut f = Vec::with_capacity(spec.node.links.len());
             let mut r = Vec::with_capacity(spec.node.links.len());
             for (li, l) in spec.node.links.iter().enumerate() {
-                let name = |dir: &str| {
-                    format!(
-                        "n{n}.{:?}[{li}].{dir} {:?}->{:?}",
-                        l.kind, l.a, l.b
-                    )
-                };
+                let name =
+                    |dir: &str| format!("n{n}.{:?}[{li}].{dir} {:?}->{:?}", l.kind, l.a, l.b);
                 f.push(kernel.add_link(name("fwd"), l.bandwidth, l.latency));
                 r.push(kernel.add_link(name("rev"), l.bandwidth, l.latency));
             }

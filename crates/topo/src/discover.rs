@@ -57,8 +57,9 @@ impl NodeDiscovery {
                     (P2PClass::Same, SAME_NOMINAL_BW)
                 } else {
                     match node.route(node.gpu(a), node.gpu(b)) {
-                        Some(route) if route.len() == 1
-                            && node.links[route[0]].kind == LinkKind::NvLink =>
+                        Some(route)
+                            if route.len() == 1
+                                && node.links[route[0]].kind == LinkKind::NvLink =>
                         {
                             (P2PClass::NvLinkDirect, node.links[route[0]].bandwidth)
                         }

@@ -309,9 +309,6 @@ mod tests {
         assert_eq!(n.num_gpus(), 3);
         assert_eq!(n.num_nics(), 1);
         assert_eq!(n.name(), "toy");
-        assert!(matches!(
-            n.components[n.gpu(2).0],
-            Component::Gpu(2)
-        ));
+        assert!(matches!(n.components[n.gpu(2).0], Component::Gpu(2)));
     }
 }

@@ -9,7 +9,7 @@ use crate::node::{LinkKind, NodeSpec};
 
 /// A DGX-A100-like node: 8 GPUs all joined through NVSwitch with uniform
 /// high bandwidth. On such a node every placement is equally good — the
-/// situation where Faraji et al. (paper ref [13]) observed no effect from
+/// situation where Faraji et al. (paper ref \[13\]) observed no effect from
 /// topology-aware placement.
 pub fn dgx_node() -> NodeSpec {
     let mut n = NodeSpec::new("dgx");

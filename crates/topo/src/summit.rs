@@ -40,7 +40,13 @@ pub fn summit_node() -> NodeSpec {
         }
         for i in 0..3 {
             for j in (i + 1)..3 {
-                n.link(gpus[triad[i]], gpus[triad[j]], LinkKind::NvLink, NVLINK_BW, us1);
+                n.link(
+                    gpus[triad[i]],
+                    gpus[triad[j]],
+                    LinkKind::NvLink,
+                    NVLINK_BW,
+                    us1,
+                );
             }
         }
     }

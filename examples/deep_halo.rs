@@ -85,7 +85,8 @@ fn verify(dom: &DistributedDomain) -> f32 {
             for y in 0..e[1] {
                 for x in 0..e[0] {
                     let got = local.get_global_f32(q_final, [o[0] + x, o[1] + y, o[2] + z]);
-                    let want = reference.at((o[0] + x) as i64, (o[1] + y) as i64, (o[2] + z) as i64);
+                    let want =
+                        reference.at((o[0] + x) as i64, (o[1] + y) as i64, (o[2] + z) as i64);
                     worst = worst.max((got - want).abs());
                 }
             }
@@ -94,8 +95,12 @@ fn verify(dom: &DistributedDomain) -> f32 {
     worst
 }
 
+/// Per-configuration outcome: (exchange period, virtual seconds, max error
+/// vs the serial reference, plan summary).
+type RunResult = (usize, f64, f32, String);
+
 fn main() {
-    let results: Arc<Mutex<Vec<(usize, f64, f32, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let results: Arc<Mutex<Vec<RunResult>>> = Arc::new(Mutex::new(Vec::new()));
     let r2 = Arc::clone(&results);
     run_world(WorldConfig::new(summit_cluster(1), 6), move |ctx| {
         for period in [1usize, 2, 4] {

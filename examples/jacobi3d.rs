@@ -10,7 +10,12 @@
 //!
 //! ```text
 //! cargo run --release -p stencil-examples --bin jacobi3d
+//! cargo run --release -p stencil-examples --bin jacobi3d -- --metrics out.json
 //! ```
+//!
+//! With `--metrics PATH`, a [`detsim::MetricsReport`] covering both
+//! schedules is printed as a table and written to `PATH` as JSON (see
+//! `docs/OBSERVABILITY.md`).
 
 use std::sync::Arc;
 
@@ -112,7 +117,8 @@ fn verify(dom: &DistributedDomain) -> f32 {
             for y in 0..e[1] {
                 for x in 0..e[0] {
                     let got = local.get_global_f32(q_final, [o[0] + x, o[1] + y, o[2] + z]);
-                    let want = reference.at((o[0] + x) as i64, (o[1] + y) as i64, (o[2] + z) as i64);
+                    let want =
+                        reference.at((o[0] + x) as i64, (o[1] + y) as i64, (o[2] + z) as i64);
                     worst = worst.max((got - want).abs());
                 }
             }
@@ -121,13 +127,23 @@ fn verify(dom: &DistributedDomain) -> f32 {
     worst
 }
 
+fn metrics_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--metrics" => Some(path.clone()),
+        other => panic!("unknown arguments {other:?} (expected --metrics PATH)"),
+    }
+}
+
 fn main() {
+    let metrics = metrics_path();
     let results: Arc<Mutex<Vec<(bool, f64, f32)>>> = Arc::new(Mutex::new(Vec::new()));
     let r2 = Arc::clone(&results);
     // 2 nodes x 3 ranks x 2 GPUs: peer, colocated, and staged paths are all
     // exercised in one run.
-    let world = WorldConfig::new(summit_cluster(2), 3);
-    run_world(world, move |ctx| {
+    let world = WorldConfig::new(summit_cluster(2), 3).metrics(metrics.is_some());
+    let report = run_world(world, move |ctx| {
         let dom = DomainBuilder::new(DOMAIN)
             .radius(1)
             .quantities(2)
@@ -148,7 +164,11 @@ fn main() {
     for (overlap, dt, err) in res.iter() {
         println!(
             "  {:<22} {:8.3} ms   max err vs serial: {err:e}",
-            if *overlap { "overlapped schedule" } else { "serialized schedule" },
+            if *overlap {
+                "overlapped schedule"
+            } else {
+                "serialized schedule"
+            },
             dt * 1e3
         );
         assert_eq!(*err, 0.0, "distributed Jacobi must match the reference");
@@ -158,4 +178,10 @@ fn main() {
     println!("  (overlap is bounded by the CPU time spent issuing CUDA calls —");
     println!("   the effect the paper's Fig. 9 shows and its §VI proposes fixing)");
     println!("  OK: identical numerics, overlapped communication");
+    if let (Some(path), Some(m)) = (metrics, report.metrics) {
+        println!();
+        println!("{}", m.to_text());
+        std::fs::write(&path, m.to_json()).expect("write metrics JSON");
+        println!("  metrics written to {path}");
+    }
 }

@@ -12,7 +12,10 @@ use topo::summit::summit_node;
 use topo::NodeDiscovery;
 
 fn main() {
-    let args: Vec<u64> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     let (domain, nodes) = match args.len() {
         0 => ([1440u64, 1452, 700], 1usize),
         3 => ([args[0], args[1], args[2]], 1),
@@ -27,7 +30,10 @@ fn main() {
 
     let part = Partition::new(domain, nodes, 6);
     println!("phase 1 — partition");
-    println!("  node grid {:?}, gpu grid {:?}", part.node_dims, part.gpu_dims);
+    println!(
+        "  node grid {:?}, gpu grid {:?}",
+        part.node_dims, part.gpu_dims
+    );
     let b = part.gpu_box([0, 0, 0], [0, 0, 0]);
     println!(
         "  subdomain shape {:?} ({:.2}:1 max aspect ratio)",
@@ -49,13 +55,26 @@ fn main() {
     }
     let d = disc.distance_matrix();
     let aware = placement::place(
-        &part, [0, 0, 0], &disc, Neighborhood::Full26, &r, 4, 4, PlacementStrategy::NodeAware,
+        &part,
+        [0, 0, 0],
+        &disc,
+        Neighborhood::Full26,
+        &r,
+        4,
+        4,
+        PlacementStrategy::NodeAware,
         stencil_core::dim3::Boundary::Periodic,
     );
     let trivial: Vec<usize> = (0..6).collect();
     let trivial_cost = qap::cost(&w, &d, &trivial);
-    println!("\n  node-aware assignment (subdomain -> GPU): {:?}", aware.gpu_for_subdomain);
-    println!("  QAP cost: node-aware {:.4e}  vs trivial {:.4e}", aware.cost, trivial_cost);
+    println!(
+        "\n  node-aware assignment (subdomain -> GPU): {:?}",
+        aware.gpu_for_subdomain
+    );
+    println!(
+        "  QAP cost: node-aware {:.4e}  vs trivial {:.4e}",
+        aware.cost, trivial_cost
+    );
     if trivial_cost > 0.0 {
         println!(
             "  predicted flow-weighted improvement: {:.1}%",

@@ -88,9 +88,15 @@ fn main() {
     });
 
     println!("quickstart: {STEPS} Jacobi steps on a {DOMAIN:?} grid over 6 simulated GPUs");
-    println!("  virtual time for compute+exchange loop: {:.3} ms", *elapsed.lock() * 1e3);
+    println!(
+        "  virtual time for compute+exchange loop: {:.3} ms",
+        *elapsed.lock() * 1e3
+    );
     let err = *max_err.lock();
     println!("  max |distributed - serial reference|:  {err:e}");
-    assert!(err == 0.0, "distributed result must match the reference exactly");
+    assert!(
+        err == 0.0,
+        "distributed result must match the reference exactly"
+    );
     println!("  OK: bit-identical to the serial reference");
 }

@@ -140,9 +140,12 @@ pub fn jacobi_signed_region_work(
     let dims = local.array_dims();
     let off = local.radius().neg();
     for a in 0..3 {
-        assert!(lo[a] - 1 + off[a] as i64 >= 0, "region reads below the array");
         assert!(
-            (hi[a] + off[a] as i64) as u64 <= dims[a] - 1,
+            lo[a] - 1 + off[a] as i64 >= 0,
+            "region reads below the array"
+        );
+        assert!(
+            ((hi[a] + off[a] as i64) as u64) < dims[a],
             "region reads beyond the array"
         );
     }
@@ -176,7 +179,13 @@ pub fn jacobi_signed_region_work(
 
 /// Build the work closure for one leapfrog acoustic-wave step:
 /// `next = 2·cur − prev + c²·laplacian(cur)` over the interior.
-pub fn wave_step_work(local: &LocalDomain, q_prev: usize, q_cur: usize, q_next: usize, c2: f32) -> Work {
+pub fn wave_step_work(
+    local: &LocalDomain,
+    q_prev: usize,
+    q_cur: usize,
+    q_next: usize,
+    c2: f32,
+) -> Work {
     let prev = local.array(q_prev).clone();
     let cur = local.array(q_cur).clone();
     let next = local.array(q_next).clone();

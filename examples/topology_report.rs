@@ -10,25 +10,76 @@ use std::sync::Arc;
 
 use mpisim::{run_world, WorldConfig};
 use parking_lot::Mutex;
-use stencil_core::{method, DomainBuilder, Dir3, Methods};
+use stencil_core::{method, Dir3, DomainBuilder, Methods};
 use topo::summit::{summit_cluster, summit_node};
 use topo::NodeDiscovery;
 
 fn main() {
     let node = summit_node();
     let disc = NodeDiscovery::discover(&node);
-    println!("simulated node: {} ({} CPUs, {} GPUs, {} NIC)", node.name(), node.num_cpus(), node.num_gpus(), node.num_nics());
+    println!(
+        "simulated node: {} ({} CPUs, {} GPUs, {} NIC)",
+        node.name(),
+        node.num_cpus(),
+        node.num_gpus(),
+        node.num_nics()
+    );
     println!("\nGPU connectivity:");
     print!("{}", disc.render_matrix());
 
     println!("\nmethod selection truth table (Methods::all(), platform not CUDA-aware):");
     println!("  {:<46} -> method", "pair relationship");
     for (desc, caps) in [
-        ("same GPU (self-exchange)", method::PairCaps { same_device: true, same_rank: true, same_node: true, peer_access: true, cuda_aware: false }),
-        ("same rank, different GPUs, peer ok", method::PairCaps { same_device: false, same_rank: true, same_node: true, peer_access: true, cuda_aware: false }),
-        ("same node, different ranks, peer ok", method::PairCaps { same_device: false, same_rank: false, same_node: true, peer_access: true, cuda_aware: false }),
-        ("same node, no peer access", method::PairCaps { same_device: false, same_rank: false, same_node: true, peer_access: false, cuda_aware: false }),
-        ("different nodes", method::PairCaps { same_device: false, same_rank: false, same_node: false, peer_access: false, cuda_aware: false }),
+        (
+            "same GPU (self-exchange)",
+            method::PairCaps {
+                same_device: true,
+                same_rank: true,
+                same_node: true,
+                peer_access: true,
+                cuda_aware: false,
+            },
+        ),
+        (
+            "same rank, different GPUs, peer ok",
+            method::PairCaps {
+                same_device: false,
+                same_rank: true,
+                same_node: true,
+                peer_access: true,
+                cuda_aware: false,
+            },
+        ),
+        (
+            "same node, different ranks, peer ok",
+            method::PairCaps {
+                same_device: false,
+                same_rank: false,
+                same_node: true,
+                peer_access: true,
+                cuda_aware: false,
+            },
+        ),
+        (
+            "same node, no peer access",
+            method::PairCaps {
+                same_device: false,
+                same_rank: false,
+                same_node: true,
+                peer_access: false,
+                cuda_aware: false,
+            },
+        ),
+        (
+            "different nodes",
+            method::PairCaps {
+                same_device: false,
+                same_rank: false,
+                same_node: false,
+                peer_access: false,
+                cuda_aware: false,
+            },
+        ),
     ] {
         println!("  {:<46} -> {}", desc, method::select(Methods::all(), caps));
     }
@@ -50,7 +101,8 @@ fn main() {
             lines.push(format!(
                 "  subdomain {:?} sends toward +x to neighbor {:?}",
                 l.gpu_idx,
-                dom.partition().neighbor(l.node_idx, l.gpu_idx, Dir3::new(1, 0, 0))
+                dom.partition()
+                    .neighbor(l.node_idx, l.gpu_idx, Dir3::new(1, 0, 0))
             ));
         }
         p2.lock().push(lines.join("\n"));

@@ -20,8 +20,13 @@ const C2: f32 = 0.05; // (c * dt / dx)^2
 
 /// Initial displacement: a smooth pulse in the middle of the domain.
 fn pulse(p: [u64; 3]) -> f32 {
-    let c = [DOMAIN[0] as f32 / 2.0, DOMAIN[1] as f32 / 2.0, DOMAIN[2] as f32 / 2.0];
-    let d2 = (p[0] as f32 - c[0]).powi(2) + (p[1] as f32 - c[1]).powi(2) + (p[2] as f32 - c[2]).powi(2);
+    let c = [
+        DOMAIN[0] as f32 / 2.0,
+        DOMAIN[1] as f32 / 2.0,
+        DOMAIN[2] as f32 / 2.0,
+    ];
+    let d2 =
+        (p[0] as f32 - c[0]).powi(2) + (p[1] as f32 - c[1]).powi(2) + (p[2] as f32 - c[2]).powi(2);
     (-d2 / 18.0).exp()
 }
 
@@ -80,7 +85,8 @@ fn main() {
                 for y in 0..e[1] {
                     for x in 0..e[0] {
                         let got = local.get_global_f32(q_final, [og[0] + x, og[1] + y, og[2] + z]);
-                        let want = cur.at((og[0] + x) as i64, (og[1] + y) as i64, (og[2] + z) as i64);
+                        let want =
+                            cur.at((og[0] + x) as i64, (og[1] + y) as i64, (og[2] + z) as i64);
                         worst = worst.max((got - want).abs());
                         peak = peak.max(got.abs());
                     }

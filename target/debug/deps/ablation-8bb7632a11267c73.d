@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-8bb7632a11267c73.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-8bb7632a11267c73: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

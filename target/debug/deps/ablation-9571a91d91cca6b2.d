@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-9571a91d91cca6b2.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-9571a91d91cca6b2: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-cba2aab79722a780.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-cba2aab79722a780.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

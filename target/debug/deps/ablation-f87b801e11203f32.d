@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-f87b801e11203f32.d: crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-f87b801e11203f32.rmeta: crates/bench/src/bin/ablation.rs Cargo.toml
+
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation-637ec01da9bd97de.d: crates/detsim/tests/conservation.rs
+
+/root/repo/target/debug/deps/conservation-637ec01da9bd97de: crates/detsim/tests/conservation.rs
+
+crates/detsim/tests/conservation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conservation-8fd9712b4376d9fe.d: crates/detsim/tests/conservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconservation-8fd9712b4376d9fe.rmeta: crates/detsim/tests/conservation.rs Cargo.toml
+
+crates/detsim/tests/conservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deep_halo-4693f0e8f40580c6.d: examples/deep_halo.rs
+
+/root/repo/target/debug/deps/deep_halo-4693f0e8f40580c6: examples/deep_halo.rs
+
+examples/deep_halo.rs:

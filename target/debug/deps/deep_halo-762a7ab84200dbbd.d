@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deep_halo-762a7ab84200dbbd.d: examples/deep_halo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeep_halo-762a7ab84200dbbd.rmeta: examples/deep_halo.rs Cargo.toml
+
+examples/deep_halo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deep_halo-9aef1e7f0698737a.d: examples/deep_halo.rs
+
+/root/repo/target/debug/deps/deep_halo-9aef1e7f0698737a: examples/deep_halo.rs
+
+examples/deep_halo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deep_halo-c30d31d4a69461b3.d: examples/deep_halo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeep_halo-c30d31d4a69461b3.rmeta: examples/deep_halo.rs Cargo.toml
+
+examples/deep_halo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-02df16b80d7b7fca.d: tests/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-02df16b80d7b7fca.rmeta: tests/tests/determinism.rs Cargo.toml
+
+tests/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

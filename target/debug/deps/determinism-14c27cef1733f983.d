@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-14c27cef1733f983.d: tests/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-14c27cef1733f983: tests/tests/determinism.rs
+
+tests/tests/determinism.rs:

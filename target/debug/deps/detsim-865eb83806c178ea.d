@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/detsim-865eb83806c178ea.d: crates/detsim/src/lib.rs crates/detsim/src/fifo.rs crates/detsim/src/flow.rs crates/detsim/src/kernel.rs crates/detsim/src/metrics.rs crates/detsim/src/park.rs crates/detsim/src/sched.rs crates/detsim/src/time.rs crates/detsim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetsim-865eb83806c178ea.rmeta: crates/detsim/src/lib.rs crates/detsim/src/fifo.rs crates/detsim/src/flow.rs crates/detsim/src/kernel.rs crates/detsim/src/metrics.rs crates/detsim/src/park.rs crates/detsim/src/sched.rs crates/detsim/src/time.rs crates/detsim/src/trace.rs Cargo.toml
+
+crates/detsim/src/lib.rs:
+crates/detsim/src/fifo.rs:
+crates/detsim/src/flow.rs:
+crates/detsim/src/kernel.rs:
+crates/detsim/src/metrics.rs:
+crates/detsim/src/park.rs:
+crates/detsim/src/sched.rs:
+crates/detsim/src/time.rs:
+crates/detsim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

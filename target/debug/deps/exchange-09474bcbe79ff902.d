@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exchange-09474bcbe79ff902.d: crates/bench/benches/exchange.rs
+
+/root/repo/target/debug/deps/libexchange-09474bcbe79ff902.rmeta: crates/bench/benches/exchange.rs
+
+crates/bench/benches/exchange.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exchange-d0b66b3561d4d956.d: crates/bench/benches/exchange.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexchange-d0b66b3561d4d956.rmeta: crates/bench/benches/exchange.rs Cargo.toml
+
+crates/bench/benches/exchange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exchange_correctness-a3e4ae1b2ec7a4a6.d: crates/core/tests/exchange_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexchange_correctness-a3e4ae1b2ec7a4a6.rmeta: crates/core/tests/exchange_correctness.rs Cargo.toml
+
+crates/core/tests/exchange_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

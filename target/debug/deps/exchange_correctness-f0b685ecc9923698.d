@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exchange_correctness-f0b685ecc9923698.d: crates/core/tests/exchange_correctness.rs
+
+/root/repo/target/debug/deps/exchange_correctness-f0b685ecc9923698: crates/core/tests/exchange_correctness.rs
+
+crates/core/tests/exchange_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exchange_proptest-24a0c1de5e57f8cd.d: crates/core/tests/exchange_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexchange_proptest-24a0c1de5e57f8cd.rmeta: crates/core/tests/exchange_proptest.rs Cargo.toml
+
+crates/core/tests/exchange_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exchange_proptest-f3b200cc15575637.d: crates/core/tests/exchange_proptest.rs
+
+/root/repo/target/debug/deps/exchange_proptest-f3b200cc15575637: crates/core/tests/exchange_proptest.rs
+
+crates/core/tests/exchange_proptest.rs:

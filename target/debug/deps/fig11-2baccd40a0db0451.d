@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-2baccd40a0db0451.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-2baccd40a0db0451: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

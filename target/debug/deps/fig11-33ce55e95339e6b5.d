@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-33ce55e95339e6b5.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-33ce55e95339e6b5: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-b01ece19c4ccab06.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-b01ece19c4ccab06.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

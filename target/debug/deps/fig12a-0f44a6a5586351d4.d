@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12a-0f44a6a5586351d4.d: crates/bench/src/bin/fig12a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12a-0f44a6a5586351d4.rmeta: crates/bench/src/bin/fig12a.rs Cargo.toml
+
+crates/bench/src/bin/fig12a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

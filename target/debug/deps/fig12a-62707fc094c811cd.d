@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12a-62707fc094c811cd.d: crates/bench/src/bin/fig12a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12a-62707fc094c811cd.rmeta: crates/bench/src/bin/fig12a.rs Cargo.toml
+
+crates/bench/src/bin/fig12a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12a-bb73b57ec243ac59.d: crates/bench/src/bin/fig12a.rs
+
+/root/repo/target/debug/deps/fig12a-bb73b57ec243ac59: crates/bench/src/bin/fig12a.rs
+
+crates/bench/src/bin/fig12a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12a-d1c4da54216362f1.d: crates/bench/src/bin/fig12a.rs
+
+/root/repo/target/debug/deps/fig12a-d1c4da54216362f1: crates/bench/src/bin/fig12a.rs
+
+crates/bench/src/bin/fig12a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12a-e96c6b704aad41bf.d: crates/bench/src/bin/fig12a.rs
+
+/root/repo/target/debug/deps/libfig12a-e96c6b704aad41bf.rmeta: crates/bench/src/bin/fig12a.rs
+
+crates/bench/src/bin/fig12a.rs:

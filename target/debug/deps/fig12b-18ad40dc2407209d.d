@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12b-18ad40dc2407209d.d: crates/bench/src/bin/fig12b.rs
+
+/root/repo/target/debug/deps/libfig12b-18ad40dc2407209d.rmeta: crates/bench/src/bin/fig12b.rs
+
+crates/bench/src/bin/fig12b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12b-3541c2cb30e4fb1b.d: crates/bench/src/bin/fig12b.rs
+
+/root/repo/target/debug/deps/fig12b-3541c2cb30e4fb1b: crates/bench/src/bin/fig12b.rs
+
+crates/bench/src/bin/fig12b.rs:

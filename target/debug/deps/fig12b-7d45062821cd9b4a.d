@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12b-7d45062821cd9b4a.d: crates/bench/src/bin/fig12b.rs
+
+/root/repo/target/debug/deps/fig12b-7d45062821cd9b4a: crates/bench/src/bin/fig12b.rs
+
+crates/bench/src/bin/fig12b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12b-9b5ee0e33fc2370b.d: crates/bench/src/bin/fig12b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12b-9b5ee0e33fc2370b.rmeta: crates/bench/src/bin/fig12b.rs Cargo.toml
+
+crates/bench/src/bin/fig12b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

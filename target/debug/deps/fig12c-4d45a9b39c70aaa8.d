@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12c-4d45a9b39c70aaa8.d: crates/bench/src/bin/fig12c.rs
+
+/root/repo/target/debug/deps/fig12c-4d45a9b39c70aaa8: crates/bench/src/bin/fig12c.rs
+
+crates/bench/src/bin/fig12c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12c-8f9fc3969053788f.d: crates/bench/src/bin/fig12c.rs
+
+/root/repo/target/debug/deps/libfig12c-8f9fc3969053788f.rmeta: crates/bench/src/bin/fig12c.rs
+
+crates/bench/src/bin/fig12c.rs:

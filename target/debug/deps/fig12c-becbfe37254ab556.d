@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12c-becbfe37254ab556.d: crates/bench/src/bin/fig12c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12c-becbfe37254ab556.rmeta: crates/bench/src/bin/fig12c.rs Cargo.toml
+
+crates/bench/src/bin/fig12c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

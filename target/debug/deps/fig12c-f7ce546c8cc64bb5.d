@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12c-f7ce546c8cc64bb5.d: crates/bench/src/bin/fig12c.rs
+
+/root/repo/target/debug/deps/fig12c-f7ce546c8cc64bb5: crates/bench/src/bin/fig12c.rs
+
+crates/bench/src/bin/fig12c.rs:

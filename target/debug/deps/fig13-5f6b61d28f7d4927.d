@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-5f6b61d28f7d4927.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-5f6b61d28f7d4927: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

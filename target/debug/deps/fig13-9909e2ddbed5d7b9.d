@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-9909e2ddbed5d7b9.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/libfig13-9909e2ddbed5d7b9.rmeta: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-a97a6b65e42b32b3.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-a97a6b65e42b32b3: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-5a8bb8b8c845bb3e.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-5a8bb8b8c845bb3e.rmeta: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

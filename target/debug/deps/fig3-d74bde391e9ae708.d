@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-d74bde391e9ae708.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-d74bde391e9ae708: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-f1f4515bc4547e80.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-f1f4515bc4547e80: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-3863fcc8b932bfc9.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-3863fcc8b932bfc9: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

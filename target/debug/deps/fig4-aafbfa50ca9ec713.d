@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-aafbfa50ca9ec713.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-aafbfa50ca9ec713: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

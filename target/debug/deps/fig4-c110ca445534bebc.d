@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c110ca445534bebc.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-c110ca445534bebc.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

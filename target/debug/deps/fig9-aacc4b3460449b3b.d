@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-aacc4b3460449b3b.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-aacc4b3460449b3b.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-b2d37974bbee9758.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-b2d37974bbee9758: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-bd9f5a5d733aebc3.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-bd9f5a5d733aebc3: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

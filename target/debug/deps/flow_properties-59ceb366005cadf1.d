@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_properties-59ceb366005cadf1.d: crates/detsim/tests/flow_properties.rs
+
+/root/repo/target/debug/deps/flow_properties-59ceb366005cadf1: crates/detsim/tests/flow_properties.rs
+
+crates/detsim/tests/flow_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flow_properties-a881ab2fc9b9cf1b.d: crates/detsim/tests/flow_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow_properties-a881ab2fc9b9cf1b.rmeta: crates/detsim/tests/flow_properties.rs Cargo.toml
+
+crates/detsim/tests/flow_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

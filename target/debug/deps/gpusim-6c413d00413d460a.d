@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gpusim-6c413d00413d460a.d: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/config.rs crates/gpusim/src/error.rs crates/gpusim/src/machine.rs crates/gpusim/src/ops.rs
+
+/root/repo/target/debug/deps/libgpusim-6c413d00413d460a.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/config.rs crates/gpusim/src/error.rs crates/gpusim/src/machine.rs crates/gpusim/src/ops.rs
+
+/root/repo/target/debug/deps/libgpusim-6c413d00413d460a.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/config.rs crates/gpusim/src/error.rs crates/gpusim/src/machine.rs crates/gpusim/src/ops.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/error.rs:
+crates/gpusim/src/machine.rs:
+crates/gpusim/src/ops.rs:

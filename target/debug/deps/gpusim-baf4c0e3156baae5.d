@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gpusim-baf4c0e3156baae5.d: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/config.rs crates/gpusim/src/error.rs crates/gpusim/src/machine.rs crates/gpusim/src/ops.rs
+
+/root/repo/target/debug/deps/gpusim-baf4c0e3156baae5: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/config.rs crates/gpusim/src/error.rs crates/gpusim/src/machine.rs crates/gpusim/src/ops.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/error.rs:
+crates/gpusim/src/machine.rs:
+crates/gpusim/src/ops.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gpusim-d62cf4f28c94f7e3.d: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/config.rs crates/gpusim/src/error.rs crates/gpusim/src/machine.rs crates/gpusim/src/ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpusim-d62cf4f28c94f7e3.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/config.rs crates/gpusim/src/error.rs crates/gpusim/src/machine.rs crates/gpusim/src/ops.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/error.rs:
+crates/gpusim/src/machine.rs:
+crates/gpusim/src/ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration_tests-2dcd3954f4ca3100.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-2dcd3954f4ca3100.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-2dcd3954f4ca3100.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

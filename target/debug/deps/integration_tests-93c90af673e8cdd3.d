@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_tests-93c90af673e8cdd3.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_tests-93c90af673e8cdd3.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_tests-c5245ee01ad8f62f.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/integration_tests-c5245ee01ad8f62f: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jacobi3d-342105597f32b4a1.d: examples/jacobi3d.rs
+
+/root/repo/target/debug/deps/jacobi3d-342105597f32b4a1: examples/jacobi3d.rs
+
+examples/jacobi3d.rs:

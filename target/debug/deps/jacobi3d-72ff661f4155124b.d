@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jacobi3d-72ff661f4155124b.d: examples/jacobi3d.rs
+
+/root/repo/target/debug/deps/jacobi3d-72ff661f4155124b: examples/jacobi3d.rs
+
+examples/jacobi3d.rs:

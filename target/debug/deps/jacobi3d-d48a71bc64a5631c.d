@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jacobi3d-d48a71bc64a5631c.d: examples/jacobi3d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjacobi3d-d48a71bc64a5631c.rmeta: examples/jacobi3d.rs Cargo.toml
+
+examples/jacobi3d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

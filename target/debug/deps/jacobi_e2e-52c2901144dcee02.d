@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jacobi_e2e-52c2901144dcee02.d: tests/tests/jacobi_e2e.rs
+
+/root/repo/target/debug/deps/jacobi_e2e-52c2901144dcee02: tests/tests/jacobi_e2e.rs
+
+tests/tests/jacobi_e2e.rs:

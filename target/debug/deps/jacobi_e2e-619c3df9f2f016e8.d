@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jacobi_e2e-619c3df9f2f016e8.d: tests/tests/jacobi_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjacobi_e2e-619c3df9f2f016e8.rmeta: tests/tests/jacobi_e2e.rs Cargo.toml
+
+tests/tests/jacobi_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matching-2aea394542399562.d: crates/mpisim/tests/matching.rs
+
+/root/repo/target/debug/deps/matching-2aea394542399562: crates/mpisim/tests/matching.rs
+
+crates/mpisim/tests/matching.rs:

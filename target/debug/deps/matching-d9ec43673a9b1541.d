@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matching-d9ec43673a9b1541.d: crates/mpisim/tests/matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatching-d9ec43673a9b1541.rmeta: crates/mpisim/tests/matching.rs Cargo.toml
+
+crates/mpisim/tests/matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics-983768643e18121c.d: tests/tests/metrics.rs
+
+/root/repo/target/debug/deps/metrics-983768643e18121c: tests/tests/metrics.rs
+
+tests/tests/metrics.rs:

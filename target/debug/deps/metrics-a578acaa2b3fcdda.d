@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics-a578acaa2b3fcdda.d: tests/tests/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics-a578acaa2b3fcdda.rmeta: tests/tests/metrics.rs Cargo.toml
+
+tests/tests/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpisim-7792ee8ac166a6d4.d: crates/mpisim/src/lib.rs crates/mpisim/src/config.rs crates/mpisim/src/rank.rs crates/mpisim/src/transport.rs crates/mpisim/src/world.rs
+
+/root/repo/target/debug/deps/libmpisim-7792ee8ac166a6d4.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/config.rs crates/mpisim/src/rank.rs crates/mpisim/src/transport.rs crates/mpisim/src/world.rs
+
+/root/repo/target/debug/deps/libmpisim-7792ee8ac166a6d4.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/config.rs crates/mpisim/src/rank.rs crates/mpisim/src/transport.rs crates/mpisim/src/world.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/config.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/transport.rs:
+crates/mpisim/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpisim-7a18fd6fb041ac32.d: crates/mpisim/src/lib.rs crates/mpisim/src/config.rs crates/mpisim/src/rank.rs crates/mpisim/src/transport.rs crates/mpisim/src/world.rs
+
+/root/repo/target/debug/deps/mpisim-7a18fd6fb041ac32: crates/mpisim/src/lib.rs crates/mpisim/src/config.rs crates/mpisim/src/rank.rs crates/mpisim/src/transport.rs crates/mpisim/src/world.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/config.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/transport.rs:
+crates/mpisim/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpisim-c25adce4533d0f24.d: crates/mpisim/src/lib.rs crates/mpisim/src/config.rs crates/mpisim/src/rank.rs crates/mpisim/src/transport.rs crates/mpisim/src/world.rs
+
+/root/repo/target/debug/deps/libmpisim-c25adce4533d0f24.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/config.rs crates/mpisim/src/rank.rs crates/mpisim/src/transport.rs crates/mpisim/src/world.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/config.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/transport.rs:
+crates/mpisim/src/world.rs:

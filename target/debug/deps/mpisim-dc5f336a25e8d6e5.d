@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpisim-dc5f336a25e8d6e5.d: crates/mpisim/src/lib.rs crates/mpisim/src/config.rs crates/mpisim/src/rank.rs crates/mpisim/src/transport.rs crates/mpisim/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpisim-dc5f336a25e8d6e5.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/config.rs crates/mpisim/src/rank.rs crates/mpisim/src/transport.rs crates/mpisim/src/world.rs Cargo.toml
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/config.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/transport.rs:
+crates/mpisim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pack-dd116f55d8c48ad0.d: crates/bench/benches/pack.rs
+
+/root/repo/target/debug/deps/libpack-dd116f55d8c48ad0.rmeta: crates/bench/benches/pack.rs
+
+crates/bench/benches/pack.rs:

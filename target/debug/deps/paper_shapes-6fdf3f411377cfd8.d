@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-6fdf3f411377cfd8.d: tests/tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-6fdf3f411377cfd8: tests/tests/paper_shapes.rs
+
+tests/tests/paper_shapes.rs:

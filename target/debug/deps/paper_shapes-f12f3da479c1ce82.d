@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shapes-f12f3da479c1ce82.d: tests/tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shapes-f12f3da479c1ce82.rmeta: tests/tests/paper_shapes.rs Cargo.toml
+
+tests/tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

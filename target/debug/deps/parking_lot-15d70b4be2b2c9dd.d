@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-15d70b4be2b2c9dd.d: crates/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-15d70b4be2b2c9dd.rmeta: crates/parking_lot/src/lib.rs
+
+crates/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partition-382330e119d650b9.d: crates/bench/benches/partition.rs
+
+/root/repo/target/debug/deps/libpartition-382330e119d650b9.rmeta: crates/bench/benches/partition.rs
+
+crates/bench/benches/partition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partition-c25bab84b1673d94.d: crates/bench/benches/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartition-c25bab84b1673d94.rmeta: crates/bench/benches/partition.rs Cargo.toml
+
+crates/bench/benches/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/placement_explorer-25663e9459e8e8ce.d: examples/placement_explorer.rs
+
+/root/repo/target/debug/deps/placement_explorer-25663e9459e8e8ce: examples/placement_explorer.rs
+
+examples/placement_explorer.rs:

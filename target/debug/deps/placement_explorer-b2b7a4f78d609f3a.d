@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/placement_explorer-b2b7a4f78d609f3a.d: examples/placement_explorer.rs
+
+/root/repo/target/debug/deps/placement_explorer-b2b7a4f78d609f3a: examples/placement_explorer.rs
+
+examples/placement_explorer.rs:

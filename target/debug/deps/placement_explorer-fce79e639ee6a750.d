@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/placement_explorer-fce79e639ee6a750.d: examples/placement_explorer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplacement_explorer-fce79e639ee6a750.rmeta: examples/placement_explorer.rs Cargo.toml
+
+examples/placement_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/placement_explorer-fe0179ea07c5f4d9.d: examples/placement_explorer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplacement_explorer-fe0179ea07c5f4d9.rmeta: examples/placement_explorer.rs Cargo.toml
+
+examples/placement_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

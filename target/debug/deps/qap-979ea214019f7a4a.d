@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qap-979ea214019f7a4a.d: crates/bench/benches/qap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqap-979ea214019f7a4a.rmeta: crates/bench/benches/qap.rs Cargo.toml
+
+crates/bench/benches/qap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

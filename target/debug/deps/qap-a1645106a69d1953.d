@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qap-a1645106a69d1953.d: crates/bench/benches/qap.rs
+
+/root/repo/target/debug/deps/libqap-a1645106a69d1953.rmeta: crates/bench/benches/qap.rs
+
+crates/bench/benches/qap.rs:

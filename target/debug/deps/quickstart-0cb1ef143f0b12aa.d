@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-0cb1ef143f0b12aa.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-0cb1ef143f0b12aa: examples/quickstart.rs
+
+examples/quickstart.rs:

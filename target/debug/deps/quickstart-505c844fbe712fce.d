@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-505c844fbe712fce.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-505c844fbe712fce: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack_integration-6c6614b1f13ca82a.d: tests/tests/stack_integration.rs
+
+/root/repo/target/debug/deps/stack_integration-6c6614b1f13ca82a: tests/tests/stack_integration.rs
+
+tests/tests/stack_integration.rs:

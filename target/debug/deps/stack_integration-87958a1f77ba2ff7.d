@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stack_integration-87958a1f77ba2ff7.d: tests/tests/stack_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstack_integration-87958a1f77ba2ff7.rmeta: tests/tests/stack_integration.rs Cargo.toml
+
+tests/tests/stack_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/stencil_bench-3ab2b08deea0d264.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libstencil_bench-3ab2b08deea0d264.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

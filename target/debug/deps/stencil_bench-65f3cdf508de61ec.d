@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/stencil_bench-65f3cdf508de61ec.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/stencil_bench-65f3cdf508de61ec: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/stencil_bench-697f09b5fdecb80c.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libstencil_bench-697f09b5fdecb80c.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/stencil_bench-ff59b26eb523fd99.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libstencil_bench-ff59b26eb523fd99.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libstencil_bench-ff59b26eb523fd99.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/stencil_core-9eede805e825cef0.d: crates/core/src/lib.rs crates/core/src/dim3.rs crates/core/src/domain.rs crates/core/src/empirical.rs crates/core/src/exchange.rs crates/core/src/local.rs crates/core/src/method.rs crates/core/src/partition.rs crates/core/src/placement.rs crates/core/src/qap.rs crates/core/src/radius.rs crates/core/src/region.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstencil_core-9eede805e825cef0.rmeta: crates/core/src/lib.rs crates/core/src/dim3.rs crates/core/src/domain.rs crates/core/src/empirical.rs crates/core/src/exchange.rs crates/core/src/local.rs crates/core/src/method.rs crates/core/src/partition.rs crates/core/src/placement.rs crates/core/src/qap.rs crates/core/src/radius.rs crates/core/src/region.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/dim3.rs:
+crates/core/src/domain.rs:
+crates/core/src/empirical.rs:
+crates/core/src/exchange.rs:
+crates/core/src/local.rs:
+crates/core/src/method.rs:
+crates/core/src/partition.rs:
+crates/core/src/placement.rs:
+crates/core/src/qap.rs:
+crates/core/src/radius.rs:
+crates/core/src/region.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stencil_examples-1a00658fcaa9569a.d: examples/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstencil_examples-1a00658fcaa9569a.rmeta: examples/src/lib.rs Cargo.toml
+
+examples/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stencil_examples-314a4bde72f152d5.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/stencil_examples-314a4bde72f152d5: examples/src/lib.rs
+
+examples/src/lib.rs:

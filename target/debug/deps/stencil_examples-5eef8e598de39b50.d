@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/stencil_examples-5eef8e598de39b50.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libstencil_examples-5eef8e598de39b50.rlib: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libstencil_examples-5eef8e598de39b50.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

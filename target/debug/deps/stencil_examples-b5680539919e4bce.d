@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stencil_examples-b5680539919e4bce.d: examples/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstencil_examples-b5680539919e4bce.rmeta: examples/src/lib.rs Cargo.toml
+
+examples/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stencil_examples-d06b36537dba83c8.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libstencil_examples-d06b36537dba83c8.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

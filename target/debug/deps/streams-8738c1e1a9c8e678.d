@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streams-8738c1e1a9c8e678.d: crates/gpusim/tests/streams.rs
+
+/root/repo/target/debug/deps/streams-8738c1e1a9c8e678: crates/gpusim/tests/streams.rs
+
+crates/gpusim/tests/streams.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streams-cd0e3e18f3e310b6.d: crates/gpusim/tests/streams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreams-cd0e3e18f3e310b6.rmeta: crates/gpusim/tests/streams.rs Cargo.toml
+
+crates/gpusim/tests/streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-2d6d892aea99f567.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-2d6d892aea99f567: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

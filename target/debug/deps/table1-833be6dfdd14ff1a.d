@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-833be6dfdd14ff1a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-833be6dfdd14ff1a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

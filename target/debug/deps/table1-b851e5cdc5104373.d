@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b851e5cdc5104373.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-b851e5cdc5104373.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/topo-0bd77124cb3e55b1.d: crates/topo/src/lib.rs crates/topo/src/cluster.rs crates/topo/src/discover.rs crates/topo/src/node.rs crates/topo/src/presets.rs crates/topo/src/summit.rs
+
+/root/repo/target/debug/deps/libtopo-0bd77124cb3e55b1.rlib: crates/topo/src/lib.rs crates/topo/src/cluster.rs crates/topo/src/discover.rs crates/topo/src/node.rs crates/topo/src/presets.rs crates/topo/src/summit.rs
+
+/root/repo/target/debug/deps/libtopo-0bd77124cb3e55b1.rmeta: crates/topo/src/lib.rs crates/topo/src/cluster.rs crates/topo/src/discover.rs crates/topo/src/node.rs crates/topo/src/presets.rs crates/topo/src/summit.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/cluster.rs:
+crates/topo/src/discover.rs:
+crates/topo/src/node.rs:
+crates/topo/src/presets.rs:
+crates/topo/src/summit.rs:

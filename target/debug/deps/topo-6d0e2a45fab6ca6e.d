@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/topo-6d0e2a45fab6ca6e.d: crates/topo/src/lib.rs crates/topo/src/cluster.rs crates/topo/src/discover.rs crates/topo/src/node.rs crates/topo/src/presets.rs crates/topo/src/summit.rs
+
+/root/repo/target/debug/deps/libtopo-6d0e2a45fab6ca6e.rmeta: crates/topo/src/lib.rs crates/topo/src/cluster.rs crates/topo/src/discover.rs crates/topo/src/node.rs crates/topo/src/presets.rs crates/topo/src/summit.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/cluster.rs:
+crates/topo/src/discover.rs:
+crates/topo/src/node.rs:
+crates/topo/src/presets.rs:
+crates/topo/src/summit.rs:

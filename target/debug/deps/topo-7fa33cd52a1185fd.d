@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/topo-7fa33cd52a1185fd.d: crates/topo/src/lib.rs crates/topo/src/cluster.rs crates/topo/src/discover.rs crates/topo/src/node.rs crates/topo/src/presets.rs crates/topo/src/summit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopo-7fa33cd52a1185fd.rmeta: crates/topo/src/lib.rs crates/topo/src/cluster.rs crates/topo/src/discover.rs crates/topo/src/node.rs crates/topo/src/presets.rs crates/topo/src/summit.rs Cargo.toml
+
+crates/topo/src/lib.rs:
+crates/topo/src/cluster.rs:
+crates/topo/src/discover.rs:
+crates/topo/src/node.rs:
+crates/topo/src/presets.rs:
+crates/topo/src/summit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

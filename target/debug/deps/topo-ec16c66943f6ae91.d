@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/topo-ec16c66943f6ae91.d: crates/topo/src/lib.rs crates/topo/src/cluster.rs crates/topo/src/discover.rs crates/topo/src/node.rs crates/topo/src/presets.rs crates/topo/src/summit.rs
+
+/root/repo/target/debug/deps/topo-ec16c66943f6ae91: crates/topo/src/lib.rs crates/topo/src/cluster.rs crates/topo/src/discover.rs crates/topo/src/node.rs crates/topo/src/presets.rs crates/topo/src/summit.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/cluster.rs:
+crates/topo/src/discover.rs:
+crates/topo/src/node.rs:
+crates/topo/src/presets.rs:
+crates/topo/src/summit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology_report-0ecdcc98cba712a3.d: examples/topology_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology_report-0ecdcc98cba712a3.rmeta: examples/topology_report.rs Cargo.toml
+
+examples/topology_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

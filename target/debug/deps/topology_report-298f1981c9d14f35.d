@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology_report-298f1981c9d14f35.d: examples/topology_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology_report-298f1981c9d14f35.rmeta: examples/topology_report.rs Cargo.toml
+
+examples/topology_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology_report-60845c7c664fb3ca.d: examples/topology_report.rs
+
+/root/repo/target/debug/deps/topology_report-60845c7c664fb3ca: examples/topology_report.rs
+
+examples/topology_report.rs:

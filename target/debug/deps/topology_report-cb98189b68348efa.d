@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology_report-cb98189b68348efa.d: examples/topology_report.rs
+
+/root/repo/target/debug/deps/topology_report-cb98189b68348efa: examples/topology_report.rs
+
+examples/topology_report.rs:

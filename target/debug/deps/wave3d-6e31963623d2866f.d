@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wave3d-6e31963623d2866f.d: examples/wave3d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwave3d-6e31963623d2866f.rmeta: examples/wave3d.rs Cargo.toml
+
+examples/wave3d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

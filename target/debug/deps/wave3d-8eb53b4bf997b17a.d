@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wave3d-8eb53b4bf997b17a.d: examples/wave3d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwave3d-8eb53b4bf997b17a.rmeta: examples/wave3d.rs Cargo.toml
+
+examples/wave3d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wave3d-b892b299b6da5f5c.d: examples/wave3d.rs
+
+/root/repo/target/debug/deps/wave3d-b892b299b6da5f5c: examples/wave3d.rs
+
+examples/wave3d.rs:

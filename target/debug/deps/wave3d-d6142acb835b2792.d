@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wave3d-d6142acb835b2792.d: examples/wave3d.rs
+
+/root/repo/target/debug/deps/wave3d-d6142acb835b2792: examples/wave3d.rs
+
+examples/wave3d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-0f4340d0b4081329.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-0f4340d0b4081329: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

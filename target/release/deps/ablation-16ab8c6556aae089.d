@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-16ab8c6556aae089.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-16ab8c6556aae089: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

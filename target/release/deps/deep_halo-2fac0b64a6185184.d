@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deep_halo-2fac0b64a6185184.d: examples/deep_halo.rs
+
+/root/repo/target/release/deps/deep_halo-2fac0b64a6185184: examples/deep_halo.rs
+
+examples/deep_halo.rs:

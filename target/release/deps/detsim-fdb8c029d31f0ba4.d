@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/detsim-fdb8c029d31f0ba4.d: crates/detsim/src/lib.rs crates/detsim/src/fifo.rs crates/detsim/src/flow.rs crates/detsim/src/kernel.rs crates/detsim/src/metrics.rs crates/detsim/src/park.rs crates/detsim/src/sched.rs crates/detsim/src/time.rs crates/detsim/src/trace.rs
+
+/root/repo/target/release/deps/libdetsim-fdb8c029d31f0ba4.rlib: crates/detsim/src/lib.rs crates/detsim/src/fifo.rs crates/detsim/src/flow.rs crates/detsim/src/kernel.rs crates/detsim/src/metrics.rs crates/detsim/src/park.rs crates/detsim/src/sched.rs crates/detsim/src/time.rs crates/detsim/src/trace.rs
+
+/root/repo/target/release/deps/libdetsim-fdb8c029d31f0ba4.rmeta: crates/detsim/src/lib.rs crates/detsim/src/fifo.rs crates/detsim/src/flow.rs crates/detsim/src/kernel.rs crates/detsim/src/metrics.rs crates/detsim/src/park.rs crates/detsim/src/sched.rs crates/detsim/src/time.rs crates/detsim/src/trace.rs
+
+crates/detsim/src/lib.rs:
+crates/detsim/src/fifo.rs:
+crates/detsim/src/flow.rs:
+crates/detsim/src/kernel.rs:
+crates/detsim/src/metrics.rs:
+crates/detsim/src/park.rs:
+crates/detsim/src/sched.rs:
+crates/detsim/src/time.rs:
+crates/detsim/src/trace.rs:

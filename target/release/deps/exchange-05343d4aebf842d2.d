@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exchange-05343d4aebf842d2.d: crates/bench/benches/exchange.rs
+
+/root/repo/target/release/deps/exchange-05343d4aebf842d2: crates/bench/benches/exchange.rs
+
+crates/bench/benches/exchange.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-106d0670b82455cf.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-106d0670b82455cf: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

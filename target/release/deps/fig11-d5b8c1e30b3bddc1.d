@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-d5b8c1e30b3bddc1.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-d5b8c1e30b3bddc1: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12a-8c31f33db8c766d5.d: crates/bench/src/bin/fig12a.rs
+
+/root/repo/target/release/deps/fig12a-8c31f33db8c766d5: crates/bench/src/bin/fig12a.rs
+
+crates/bench/src/bin/fig12a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12a-aa37e7ad85a9cff0.d: crates/bench/src/bin/fig12a.rs
+
+/root/repo/target/release/deps/fig12a-aa37e7ad85a9cff0: crates/bench/src/bin/fig12a.rs
+
+crates/bench/src/bin/fig12a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12b-be9b32011ab6c30a.d: crates/bench/src/bin/fig12b.rs
+
+/root/repo/target/release/deps/fig12b-be9b32011ab6c30a: crates/bench/src/bin/fig12b.rs
+
+crates/bench/src/bin/fig12b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12b-cfb792d6643c6005.d: crates/bench/src/bin/fig12b.rs
+
+/root/repo/target/release/deps/fig12b-cfb792d6643c6005: crates/bench/src/bin/fig12b.rs
+
+crates/bench/src/bin/fig12b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12c-d746177a1891173a.d: crates/bench/src/bin/fig12c.rs
+
+/root/repo/target/release/deps/fig12c-d746177a1891173a: crates/bench/src/bin/fig12c.rs
+
+crates/bench/src/bin/fig12c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12c-f61752081118952f.d: crates/bench/src/bin/fig12c.rs
+
+/root/repo/target/release/deps/fig12c-f61752081118952f: crates/bench/src/bin/fig12c.rs
+
+crates/bench/src/bin/fig12c.rs:

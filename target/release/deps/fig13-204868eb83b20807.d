@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-204868eb83b20807.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-204868eb83b20807: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

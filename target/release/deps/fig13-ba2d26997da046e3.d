@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-ba2d26997da046e3.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-ba2d26997da046e3: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

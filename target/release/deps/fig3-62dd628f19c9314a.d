@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-62dd628f19c9314a.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-62dd628f19c9314a: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-83f7d5a764a90647.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-83f7d5a764a90647: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

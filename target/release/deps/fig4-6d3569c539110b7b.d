@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-6d3569c539110b7b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-6d3569c539110b7b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

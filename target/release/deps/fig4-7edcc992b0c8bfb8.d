@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-7edcc992b0c8bfb8.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-7edcc992b0c8bfb8: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-072d2bc3e38741d6.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-072d2bc3e38741d6: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

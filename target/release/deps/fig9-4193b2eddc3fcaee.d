@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-4193b2eddc3fcaee.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-4193b2eddc3fcaee: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

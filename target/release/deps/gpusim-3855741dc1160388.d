@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gpusim-3855741dc1160388.d: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/config.rs crates/gpusim/src/error.rs crates/gpusim/src/machine.rs crates/gpusim/src/ops.rs
+
+/root/repo/target/release/deps/libgpusim-3855741dc1160388.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/config.rs crates/gpusim/src/error.rs crates/gpusim/src/machine.rs crates/gpusim/src/ops.rs
+
+/root/repo/target/release/deps/libgpusim-3855741dc1160388.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/config.rs crates/gpusim/src/error.rs crates/gpusim/src/machine.rs crates/gpusim/src/ops.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/error.rs:
+crates/gpusim/src/machine.rs:
+crates/gpusim/src/ops.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/integration_tests-4b30118b710238ea.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libintegration_tests-4b30118b710238ea.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libintegration_tests-4b30118b710238ea.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/jacobi3d-b986a7c604ce2dfb.d: examples/jacobi3d.rs
+
+/root/repo/target/release/deps/jacobi3d-b986a7c604ce2dfb: examples/jacobi3d.rs
+
+examples/jacobi3d.rs:

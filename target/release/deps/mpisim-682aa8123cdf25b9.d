@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mpisim-682aa8123cdf25b9.d: crates/mpisim/src/lib.rs crates/mpisim/src/config.rs crates/mpisim/src/rank.rs crates/mpisim/src/transport.rs crates/mpisim/src/world.rs
+
+/root/repo/target/release/deps/libmpisim-682aa8123cdf25b9.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/config.rs crates/mpisim/src/rank.rs crates/mpisim/src/transport.rs crates/mpisim/src/world.rs
+
+/root/repo/target/release/deps/libmpisim-682aa8123cdf25b9.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/config.rs crates/mpisim/src/rank.rs crates/mpisim/src/transport.rs crates/mpisim/src/world.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/config.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/transport.rs:
+crates/mpisim/src/world.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-8d6dcc7a783477bf.d: crates/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-8d6dcc7a783477bf.rlib: crates/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-8d6dcc7a783477bf.rmeta: crates/parking_lot/src/lib.rs
+
+crates/parking_lot/src/lib.rs:

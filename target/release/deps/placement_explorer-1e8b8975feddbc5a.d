@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/placement_explorer-1e8b8975feddbc5a.d: examples/placement_explorer.rs
+
+/root/repo/target/release/deps/placement_explorer-1e8b8975feddbc5a: examples/placement_explorer.rs
+
+examples/placement_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-9005de5a6165d003.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-9005de5a6165d003: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/stencil_bench-10c5f7a7a6d2f040.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/release/deps/libstencil_bench-10c5f7a7a6d2f040.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/release/deps/libstencil_bench-10c5f7a7a6d2f040.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

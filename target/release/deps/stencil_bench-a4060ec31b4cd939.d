@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/stencil_bench-a4060ec31b4cd939.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/release/deps/libstencil_bench-a4060ec31b4cd939.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/release/deps/libstencil_bench-a4060ec31b4cd939.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

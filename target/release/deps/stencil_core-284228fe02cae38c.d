@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/stencil_core-284228fe02cae38c.d: crates/core/src/lib.rs crates/core/src/dim3.rs crates/core/src/domain.rs crates/core/src/empirical.rs crates/core/src/exchange.rs crates/core/src/local.rs crates/core/src/method.rs crates/core/src/partition.rs crates/core/src/placement.rs crates/core/src/qap.rs crates/core/src/radius.rs crates/core/src/region.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libstencil_core-284228fe02cae38c.rlib: crates/core/src/lib.rs crates/core/src/dim3.rs crates/core/src/domain.rs crates/core/src/empirical.rs crates/core/src/exchange.rs crates/core/src/local.rs crates/core/src/method.rs crates/core/src/partition.rs crates/core/src/placement.rs crates/core/src/qap.rs crates/core/src/radius.rs crates/core/src/region.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libstencil_core-284228fe02cae38c.rmeta: crates/core/src/lib.rs crates/core/src/dim3.rs crates/core/src/domain.rs crates/core/src/empirical.rs crates/core/src/exchange.rs crates/core/src/local.rs crates/core/src/method.rs crates/core/src/partition.rs crates/core/src/placement.rs crates/core/src/qap.rs crates/core/src/radius.rs crates/core/src/region.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dim3.rs:
+crates/core/src/domain.rs:
+crates/core/src/empirical.rs:
+crates/core/src/exchange.rs:
+crates/core/src/local.rs:
+crates/core/src/method.rs:
+crates/core/src/partition.rs:
+crates/core/src/placement.rs:
+crates/core/src/qap.rs:
+crates/core/src/radius.rs:
+crates/core/src/region.rs:
+crates/core/src/stats.rs:

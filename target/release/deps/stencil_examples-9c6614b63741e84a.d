@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/stencil_examples-9c6614b63741e84a.d: examples/src/lib.rs
+
+/root/repo/target/release/deps/libstencil_examples-9c6614b63741e84a.rlib: examples/src/lib.rs
+
+/root/repo/target/release/deps/libstencil_examples-9c6614b63741e84a.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

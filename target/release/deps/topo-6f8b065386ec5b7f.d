@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/topo-6f8b065386ec5b7f.d: crates/topo/src/lib.rs crates/topo/src/cluster.rs crates/topo/src/discover.rs crates/topo/src/node.rs crates/topo/src/presets.rs crates/topo/src/summit.rs
+
+/root/repo/target/release/deps/libtopo-6f8b065386ec5b7f.rlib: crates/topo/src/lib.rs crates/topo/src/cluster.rs crates/topo/src/discover.rs crates/topo/src/node.rs crates/topo/src/presets.rs crates/topo/src/summit.rs
+
+/root/repo/target/release/deps/libtopo-6f8b065386ec5b7f.rmeta: crates/topo/src/lib.rs crates/topo/src/cluster.rs crates/topo/src/discover.rs crates/topo/src/node.rs crates/topo/src/presets.rs crates/topo/src/summit.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/cluster.rs:
+crates/topo/src/discover.rs:
+crates/topo/src/node.rs:
+crates/topo/src/presets.rs:
+crates/topo/src/summit.rs:

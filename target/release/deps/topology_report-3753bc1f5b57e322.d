@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/topology_report-3753bc1f5b57e322.d: examples/topology_report.rs
+
+/root/repo/target/release/deps/topology_report-3753bc1f5b57e322: examples/topology_report.rs
+
+examples/topology_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wave3d-ba7de8edf6a0eb29.d: examples/wave3d.rs
+
+/root/repo/target/release/deps/wave3d-ba7de8edf6a0eb29: examples/wave3d.rs
+
+examples/wave3d.rs:

@@ -12,7 +12,9 @@ use topo::summit::summit_cluster;
 #[test]
 fn exchange_times_are_bit_identical_across_runs() {
     let run = || {
-        let cfg = ExchangeConfig::new(2, 6, 400).methods(Methods::all()).iters(3);
+        let cfg = ExchangeConfig::new(2, 6, 400)
+            .methods(Methods::all())
+            .iters(3);
         measure_exchange(&cfg).per_iter
     };
     let a = run();
@@ -36,7 +38,9 @@ fn cuda_aware_runs_are_deterministic_too() {
 fn repeated_exchanges_take_identical_time() {
     // After the first exchange the system returns to quiescence, so every
     // following exchange must cost exactly the same virtual time.
-    let cfg = ExchangeConfig::new(1, 6, 500).methods(Methods::all()).iters(4);
+    let cfg = ExchangeConfig::new(1, 6, 500)
+        .methods(Methods::all())
+        .iters(4);
     let r = measure_exchange(&cfg);
     for w in r.per_iter.windows(2) {
         // identical up to f64 rounding of (wtime - wtime) at different
@@ -55,7 +59,10 @@ fn every_rank_computes_the_same_placement() {
     let p2 = Arc::clone(&placements);
     let world = mpisim::WorldConfig::new(summit_cluster(2), 6);
     mpisim::run_world(world, move |ctx| {
-        let dom = DomainBuilder::new([1440, 1452, 700]).radius(2).quantities(4).build(ctx);
+        let dom = DomainBuilder::new([1440, 1452, 700])
+            .radius(2)
+            .quantities(4)
+            .build(ctx);
         let mine: Vec<usize> = (0..2)
             .flat_map(|n| dom.placement(n).gpu_for_subdomain.clone())
             .collect();

@@ -71,7 +71,11 @@ fn jacobi_case(nodes: usize, rpn: usize, methods: Methods, cuda_aware: bool, ste
         let mut g = w2.lock();
         *g = g.max(local_worst);
     });
-    assert_eq!(*worst.lock(), 0.0, "distributed Jacobi diverged from reference");
+    assert_eq!(
+        *worst.lock(),
+        0.0,
+        "distributed Jacobi diverged from reference"
+    );
 }
 
 #[test]

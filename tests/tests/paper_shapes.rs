@@ -9,19 +9,36 @@ use stencil_core::{Methods, PlacementStrategy};
 #[test]
 fn staged_improves_with_ranks_per_node() {
     let t = |rpn| {
-        measure_exchange(&ExchangeConfig::new(1, rpn, 930).methods(Methods::staged_only()).iters(2)).mean
+        measure_exchange(
+            &ExchangeConfig::new(1, rpn, 930)
+                .methods(Methods::staged_only())
+                .iters(2),
+        )
+        .mean
     };
     let (r1, r2, r6) = (t(1), t(2), t(6));
-    assert!(r1 > r2 && r2 > r6, "staged should improve 1r->2r->6r: {r1} {r2} {r6}");
+    assert!(
+        r1 > r2 && r2 > r6,
+        "staged should improve 1r->2r->6r: {r1} {r2} {r6}"
+    );
 }
 
 /// Fig. 12a: full specialization is several times faster than staged-only
 /// on a single node (paper: ~6x at 6 ranks).
 #[test]
 fn specialization_beats_staged_single_node() {
-    let staged =
-        measure_exchange(&ExchangeConfig::new(1, 6, 930).methods(Methods::staged_only()).iters(2)).mean;
-    let full = measure_exchange(&ExchangeConfig::new(1, 6, 930).methods(Methods::all()).iters(2)).mean;
+    let staged = measure_exchange(
+        &ExchangeConfig::new(1, 6, 930)
+            .methods(Methods::staged_only())
+            .iters(2),
+    )
+    .mean;
+    let full = measure_exchange(
+        &ExchangeConfig::new(1, 6, 930)
+            .methods(Methods::all())
+            .iters(2),
+    )
+    .mean;
     let speedup = staged / full;
     assert!(
         (4.0..12.0).contains(&speedup),
@@ -33,15 +50,33 @@ fn specialization_beats_staged_single_node() {
 /// CUDA-aware beats plain staged on a single node.
 #[test]
 fn cuda_aware_sits_between_staged_and_specialized_on_node() {
-    let staged =
-        measure_exchange(&ExchangeConfig::new(1, 6, 930).methods(Methods::staged_only()).iters(2)).mean;
-    let ca = measure_exchange(
-        &ExchangeConfig::new(1, 6, 930).methods(Methods::cuda_aware_only()).cuda_aware(true).iters(2),
+    let staged = measure_exchange(
+        &ExchangeConfig::new(1, 6, 930)
+            .methods(Methods::staged_only())
+            .iters(2),
     )
     .mean;
-    let full = measure_exchange(&ExchangeConfig::new(1, 6, 930).methods(Methods::all()).iters(2)).mean;
-    assert!(ca < staged, "CUDA-aware should beat staged on-node: {ca} vs {staged}");
-    assert!(full < ca, "specialization should beat CUDA-aware: {full} vs {ca}");
+    let ca = measure_exchange(
+        &ExchangeConfig::new(1, 6, 930)
+            .methods(Methods::cuda_aware_only())
+            .cuda_aware(true)
+            .iters(2),
+    )
+    .mean;
+    let full = measure_exchange(
+        &ExchangeConfig::new(1, 6, 930)
+            .methods(Methods::all())
+            .iters(2),
+    )
+    .mean;
+    assert!(
+        ca < staged,
+        "CUDA-aware should beat staged on-node: {ca} vs {staged}"
+    );
+    assert!(
+        full < ca,
+        "specialization should beat CUDA-aware: {full} vs {ca}"
+    );
 }
 
 /// Fig. 12a: enabling the kernel method on top of peer has little effect.
@@ -53,10 +88,17 @@ fn kernel_method_is_marginal() {
             .iters(2),
     )
     .mean;
-    let kernel =
-        measure_exchange(&ExchangeConfig::new(1, 6, 930).methods(Methods::all()).iters(2)).mean;
+    let kernel = measure_exchange(
+        &ExchangeConfig::new(1, 6, 930)
+            .methods(Methods::all())
+            .iters(2),
+    )
+    .mean;
     let delta = (peer - kernel).abs() / peer;
-    assert!(delta < 0.15, "+kernel should be within 15% of +peer: {delta:.2}");
+    assert!(
+        delta < 0.15,
+        "+kernel should be within 15% of +peer: {delta:.2}"
+    );
 }
 
 /// Fig. 11: node-aware placement beats trivial placement on the paper's
@@ -88,12 +130,20 @@ fn node_aware_placement_beats_trivial() {
 fn weak_scaling_flattens() {
     let t = |nodes: usize| {
         let extent = weak_scaling_extent(750, nodes * 6);
-        measure_exchange(&ExchangeConfig::new(nodes, 6, extent).methods(Methods::all()).iters(2)).mean
+        measure_exchange(
+            &ExchangeConfig::new(nodes, 6, extent)
+                .methods(Methods::all())
+                .iters(2),
+        )
+        .mean
     };
     let (t1, t8, t16) = (t(1), t(8), t(16));
     assert!(t8 > t1, "off-node exchange must cost more than on-node");
     let late_growth = (t16 - t8).abs() / t8;
-    assert!(late_growth < 0.35, "curve should flatten 8->16 nodes: {late_growth:.2}");
+    assert!(
+        late_growth < 0.35,
+        "curve should flatten 8->16 nodes: {late_growth:.2}"
+    );
 }
 
 /// Fig. 12c: with CUDA-aware MPI the exchange degrades as nodes grow, and
@@ -112,11 +162,22 @@ fn cuda_aware_degrades_at_scale() {
     };
     let staged8 = {
         let extent = weak_scaling_extent(750, 8 * 6);
-        measure_exchange(&ExchangeConfig::new(8, 6, extent).methods(Methods::staged_only()).iters(2)).mean
+        measure_exchange(
+            &ExchangeConfig::new(8, 6, extent)
+                .methods(Methods::staged_only())
+                .iters(2),
+        )
+        .mean
     };
     let (c1, c8) = (ca(1), ca(8));
-    assert!(c8 > c1 * 2.0, "CUDA-aware should degrade with scale: {c1} -> {c8}");
-    assert!(c8 > staged8 * 1.15, "CUDA-aware should lose to staged at scale: {c8} vs {staged8}");
+    assert!(
+        c8 > c1 * 2.0,
+        "CUDA-aware should degrade with scale: {c1} -> {c8}"
+    );
+    assert!(
+        c8 > staged8 * 1.15,
+        "CUDA-aware should lose to staged at scale: {c8} vs {staged8}"
+    );
 }
 
 /// Fig. 13: strong scaling — the same 1363^3 problem gets faster with more
@@ -124,7 +185,12 @@ fn cuda_aware_degrades_at_scale() {
 #[test]
 fn strong_scaling_reduces_exchange_time() {
     let t = |nodes: usize| {
-        measure_exchange(&ExchangeConfig::new(nodes, 6, 1363).methods(Methods::all()).iters(2)).mean
+        measure_exchange(
+            &ExchangeConfig::new(nodes, 6, 1363)
+                .methods(Methods::all())
+                .iters(2),
+        )
+        .mean
     };
     let (t1, t4, t16) = (t(1), t(4), t(16));
     assert!(t4 < t1 * 6.0, "sanity");

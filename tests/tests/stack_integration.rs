@@ -14,7 +14,10 @@ fn domain_build_accounts_device_memory() {
     let used: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let u2 = Arc::clone(&used);
     run_world(WorldConfig::new(summit_cluster(1), 6), move |ctx| {
-        let dom = DomainBuilder::new([60, 60, 60]).radius(2).quantities(4).build(ctx);
+        let dom = DomainBuilder::new([60, 60, 60])
+            .radius(2)
+            .quantities(4)
+            .build(ctx);
         let m = ctx.machine();
         let dev = ctx.gpus()[0];
         // arrays + per-plan pack/recv buffers all land on this device
@@ -43,7 +46,10 @@ fn oversized_domain_fails_with_oom() {
                 .build(ctx);
         });
     });
-    assert!(result.is_err(), "over-subscribed device memory must panic with OOM");
+    assert!(
+        result.is_err(),
+        "over-subscribed device memory must panic with OOM"
+    );
 }
 
 #[test]
@@ -68,7 +74,10 @@ fn nic_bytes_match_plan_summary() {
     let p2 = Arc::clone(&planned);
     let world = WorldConfig::new(summit_cluster(2), 6);
     let rep = run_world(world, move |ctx| {
-        let dom = DomainBuilder::new([64, 64, 64]).radius(1).quantities(2).build(ctx);
+        let dom = DomainBuilder::new([64, 64, 64])
+            .radius(1)
+            .quantities(2)
+            .build(ctx);
         ctx.barrier();
         dom.exchange(ctx);
         if ctx.node() == 0 {
@@ -77,7 +86,11 @@ fn nic_bytes_match_plan_summary() {
         }
     });
     let injected: u64 = rep.nic_injected[0];
-    assert_eq!(injected, *planned.lock(), "NIC accounting must match the plan");
+    assert_eq!(
+        injected,
+        *planned.lock(),
+        "NIC accounting must match the plan"
+    );
 }
 
 #[test]
@@ -188,10 +201,19 @@ fn measured_bandwidths_rank_triads_above_cross_socket() {
     assert_eq!(bw.len(), 6);
     // under concurrent all-pairs load, a triad pair must be clearly faster
     // than a cross-socket pair (the X-Bus divides among all 9 cross pairs)
-    assert!(bw[0][1] > bw[0][3] * 2.0, "triad {} vs cross {}", bw[0][1], bw[0][3]);
+    assert!(
+        bw[0][1] > bw[0][3] * 2.0,
+        "triad {} vs cross {}",
+        bw[0][1],
+        bw[0][3]
+    );
     assert!(bw[0][0] > bw[0][1], "on-device copy should top the matrix");
     // NVLink-direct pairs keep (close to) their dedicated 50 GB/s
-    assert!(bw[0][1] > 35e9 && bw[0][1] < 55e9, "triad measured {}", bw[0][1]);
+    assert!(
+        bw[0][1] > 35e9 && bw[0][1] < 55e9,
+        "triad measured {}",
+        bw[0][1]
+    );
 }
 
 #[test]
@@ -291,12 +313,26 @@ fn uniform_topology_makes_placement_indifferent() {
     let part = Partition::new([1440, 1452, 700], 1, 8);
     let r = Radius::constant(2);
     let aware = placement::place(
-        &part, [0, 0, 0], &disc, Neighborhood::Full26, &r, 4, 4,
-        PlacementStrategy::NodeAware, Boundary::Periodic,
+        &part,
+        [0, 0, 0],
+        &disc,
+        Neighborhood::Full26,
+        &r,
+        4,
+        4,
+        PlacementStrategy::NodeAware,
+        Boundary::Periodic,
     );
     let trivial = placement::place(
-        &part, [0, 0, 0], &disc, Neighborhood::Full26, &r, 4, 4,
-        PlacementStrategy::Trivial, Boundary::Periodic,
+        &part,
+        [0, 0, 0],
+        &disc,
+        Neighborhood::Full26,
+        &r,
+        4,
+        4,
+        PlacementStrategy::Trivial,
+        Boundary::Periodic,
     );
     let rel = (aware.cost - trivial.cost).abs() / trivial.cost.max(1e-30);
     assert!(rel < 1e-9, "uniform links: all placements equal, got {rel}");
