@@ -19,4 +19,8 @@ cargo build --offline --release --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+echo "==> bench smoke (simperf --quick)"
+./target/release/simperf --quick --json /tmp/simperf_smoke.json
+./target/release/simperf --validate /tmp/simperf_smoke.json
+
 echo "==> OK"

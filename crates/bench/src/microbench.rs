@@ -17,11 +17,28 @@
 
 use std::time::Instant;
 
+/// Wall-clock statistics of one benchmark, suitable for machine-readable
+/// artifacts (see the `simperf` binary and `BENCH_pr2.json`).
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// `group/name` of the benchmark.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Mean seconds per sample.
+    pub mean_s: f64,
+    /// Fastest sample in seconds (the stable, comparable number).
+    pub min_s: f64,
+    /// Slowest sample in seconds.
+    pub max_s: f64,
+}
+
 /// A named group of micro-benchmarks sharing a sample count.
 pub struct Bench {
     group: String,
     sample_size: usize,
     throughput_bytes: Option<u64>,
+    warmup: bool,
 }
 
 impl Bench {
@@ -31,12 +48,19 @@ impl Bench {
             group: group.to_string(),
             sample_size: 10,
             throughput_bytes: None,
+            warmup: true,
         }
     }
 
     /// Number of timed samples per benchmark (default 10).
     pub fn sample_size(&mut self, n: usize) {
         self.sample_size = n.max(1);
+    }
+
+    /// Enable or disable the untimed warm-up call before sampling (default
+    /// on). Heavy end-to-end benches turn it off so one sample is one run.
+    pub fn warmup(&mut self, on: bool) {
+        self.warmup = on;
     }
 
     /// Attach a per-iteration byte count to subsequent [`Bench::run`]
@@ -52,9 +76,18 @@ impl Bench {
     }
 
     /// Time `f` over the configured number of samples (after one untimed
-    /// warm-up call) and print a summary line.
-    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) {
-        std::hint::black_box(f());
+    /// warm-up call unless disabled via [`Bench::warmup`]) and print a
+    /// summary line.
+    pub fn run<T>(&self, name: &str, f: impl FnMut() -> T) {
+        self.run_summary(name, f);
+    }
+
+    /// Like [`Bench::run`], but also return the wall-clock [`Summary`] so
+    /// callers can build machine-readable artifacts.
+    pub fn run_summary<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Summary {
+        if self.warmup {
+            std::hint::black_box(f());
+        }
         let mut samples = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let t0 = Instant::now();
@@ -76,6 +109,13 @@ impl Bench {
             line.push_str(&format!("  {:8.3} GiB/s", gib / mean));
         }
         println!("{line}");
+        Summary {
+            name: format!("{}/{name}", self.group),
+            samples: samples.len(),
+            mean_s: mean,
+            min_s: min,
+            max_s: max,
+        }
     }
 }
 

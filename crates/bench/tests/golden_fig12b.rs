@@ -1,0 +1,53 @@
+//! Determinism regression for the paper's Fig. 12b shape.
+//!
+//! The simulator promises **bit-identical virtual times** across runs,
+//! machines, and — the point of this test — performance work on the kernel.
+//! The golden constants below are the exact `f64` bit patterns produced by
+//! the pre-optimization simulator for a 16-node weak-scaling exchange; any
+//! scheduler / flow-network / event-queue change that shifts a virtual
+//! timestamp by even one picosecond fails this test.
+
+use stencil_bench::{measure_exchange, weak_scaling_extent, ExchangeConfig};
+
+/// 16 nodes x 6 ranks, weak-scaling extent 750 per GPU.
+const NODES: usize = 16;
+const RANKS_PER_NODE: usize = 6;
+
+/// Bit patterns of `ExchangeResult::per_iter` (seconds of virtual time per
+/// exchange iteration) for the config above with `iters(2)`, captured on
+/// the seed simulator. Iteration 0 includes first-touch effects (cold FIFO
+/// and match-queue state), so the two differ in the last ulp.
+const GOLDEN_PER_ITER_BITS: [u64; 2] = [0x3f90c4cfc10af58a, 0x3f90c4cfc10af589];
+
+fn golden_config() -> ExchangeConfig {
+    let extent = weak_scaling_extent(750, NODES * RANKS_PER_NODE);
+    assert_eq!(extent, 3434, "weak-scaling extent formula changed");
+    ExchangeConfig::new(NODES, RANKS_PER_NODE, extent).iters(2)
+}
+
+#[test]
+fn fig12b_16_node_virtual_times_match_golden_bits() {
+    let r = measure_exchange(&golden_config());
+    let bits: Vec<u64> = r.per_iter.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        bits, GOLDEN_PER_ITER_BITS,
+        "virtual times diverged from golden values: got {:?} s",
+        r.per_iter
+    );
+}
+
+#[test]
+fn metrics_collection_does_not_perturb_virtual_time() {
+    let plain = measure_exchange(&golden_config());
+    let metered = measure_exchange(&golden_config().metrics(true));
+    let plain_bits: Vec<u64> = plain.per_iter.iter().map(|v| v.to_bits()).collect();
+    let metered_bits: Vec<u64> = metered.per_iter.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        plain_bits, metered_bits,
+        "metrics-on run produced different virtual times"
+    );
+    assert!(
+        metered.metrics.is_some(),
+        "metrics(true) should capture a registry snapshot"
+    );
+}

@@ -15,10 +15,29 @@
 //! remaining byte counts are settled at the current instant, their rates
 //! recomputed, and their completion events re-projected. Stale completion
 //! events are invalidated with a per-flow generation counter.
+//!
+//! ## Performance notes
+//!
+//! Reshares dominate large simulations (a 256-node fig12b step performs
+//! ~400k of them, settling millions of flows), so the data structures are
+//! arranged to make one reshare allocation-free:
+//!
+//! * Each link caches its fair `share` (`capacity / flow-count`),
+//!   recomputed only when membership changes — not per affected flow.
+//! * Link membership is an unordered `Vec` of `(flow, hop)` entries with
+//!   `swap_remove` deletion; each flow records its position in every hop's
+//!   entry list so leaving a link is O(1) with a single position fix-up.
+//! * Paths of up to [`PATH_INLINE`] hops are stored inline in the flow
+//!   (internode host routes are at most 7 links), so starting a flow does
+//!   not clone the path and resharing never touches the heap.
+//! * The affected-flow set is a sorted-and-deduped scratch `Vec` reused
+//!   across reshares, replacing a `BTreeSet` rebuilt per membership change.
+//! * Completion events are [`EventKind::FlowFinish`] records, not boxed
+//!   closures; superseded projections are counted so the kernel can compact
+//!   them out of the heap (see [`Kernel::step`]).
 
-use std::collections::BTreeSet;
-
-use crate::kernel::{Action, Kernel};
+use crate::kernel::{push_event, Action, EventKind, Kernel};
+use crate::metrics::Metrics;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a link in the network.
@@ -29,11 +48,60 @@ pub struct LinkId(pub(crate) usize);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowId(usize);
 
+/// Paths up to this many hops live inline in the flow; longer ones spill
+/// to the heap. The deepest route the topology builds (internode host
+/// path: intranode hops + inject + eject + intranode hops) is 7 links.
+const PATH_INLINE: usize = 8;
+
+/// A flow's route plus, per hop, the flow's index into that link's entry
+/// list (maintained by join/leave so leaving is O(1)).
+enum FlowPath {
+    Inline(u8, [(LinkId, u32); PATH_INLINE]),
+    Heap(Vec<(LinkId, u32)>),
+}
+
+impl FlowPath {
+    fn from_links(path: &[LinkId]) -> Self {
+        if path.len() <= PATH_INLINE {
+            let mut hops = [(LinkId(0), 0u32); PATH_INLINE];
+            for (hop, &l) in hops.iter_mut().zip(path) {
+                hop.0 = l;
+            }
+            FlowPath::Inline(path.len() as u8, hops)
+        } else {
+            FlowPath::Heap(path.iter().map(|&l| (l, 0)).collect())
+        }
+    }
+
+    fn hops(&self) -> &[(LinkId, u32)] {
+        match self {
+            FlowPath::Inline(len, hops) => &hops[..*len as usize],
+            FlowPath::Heap(hops) => hops,
+        }
+    }
+
+    fn hops_mut(&mut self) -> &mut [(LinkId, u32)] {
+        match self {
+            FlowPath::Inline(len, hops) => &mut hops[..*len as usize],
+            FlowPath::Heap(hops) => hops,
+        }
+    }
+
+    fn set_pos(&mut self, hop: usize, pos: u32) {
+        self.hops_mut()[hop].1 = pos;
+    }
+}
+
 pub(crate) struct Link {
     name: String,
     capacity: f64, // bytes per second
     latency: SimDuration,
-    flows: BTreeSet<FlowId>,
+    /// Flows currently on this link, unordered, as `(flow, hop index in
+    /// that flow's path)` so a swap-removed entry's owner can be fixed up.
+    entries: Vec<(FlowId, u32)>,
+    /// Cached fair share `capacity / entries.len()`; valid whenever the
+    /// link has flows, recomputed only on membership change.
+    share: f64,
     /// Cumulative bytes that have finished crossing this link (diagnostics).
     delivered: u64,
     /// Sum of current rates of flows on this link (diagnostics).
@@ -47,7 +115,7 @@ pub(crate) struct Link {
 }
 
 struct Flow {
-    path: Vec<LinkId>,
+    path: FlowPath,
     remaining: f64,
     total: u64,
     rate: f64,
@@ -66,6 +134,9 @@ pub(crate) struct FlowNet {
     slot_gen: Vec<u64>,
     free: Vec<usize>,
     active: usize,
+    /// Reusable affected-flow buffer for joins/leaves (never held across
+    /// user callbacks).
+    scratch: Vec<FlowId>,
 }
 
 impl FlowNet {
@@ -76,6 +147,7 @@ impl FlowNet {
             slot_gen: Vec::new(),
             free: Vec::new(),
             active: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -90,6 +162,34 @@ impl FlowNet {
             self.flows.push(Some(flow));
             self.slot_gen.push(0);
             FlowId(self.flows.len() - 1)
+        }
+    }
+
+    /// Whether a completion event for `(fid, gen)` still refers to the
+    /// current occupant of the slot at its current rate.
+    pub(crate) fn is_fresh(&self, fid: FlowId, gen: u64) -> bool {
+        self.flows[fid.0]
+            .as_ref()
+            .is_some_and(|f| f.generation == gen)
+    }
+}
+
+/// Settle a link's busy-byte integral at `now`, then apply `delta` to its
+/// load. When the metrics registry is enabled, also records the link's
+/// utilization (time-weighted by the settled interval) and busy time.
+fn settle_link(link: &mut Link, metrics: &mut Metrics, now: SimTime, delta: f64) {
+    let dt = now.since(link.last_change);
+    let secs = dt.as_secs_f64();
+    link.busy_bytes += link.load * secs;
+    link.last_change = now;
+    let old_load = link.load;
+    link.load += delta;
+    if metrics.is_enabled() && dt > SimDuration::ZERO {
+        let util = old_load / link.capacity;
+        let name: &str = &link.name;
+        metrics.observe_weighted("flow", "link_utilization", &[("link", name)], util, secs);
+        if old_load > 0.0 {
+            metrics.counter_add("flow", "link_busy_ps", &[("link", name)], dt.picos());
         }
     }
 }
@@ -110,7 +210,8 @@ impl Kernel {
             name: name.into(),
             capacity: capacity_bps,
             latency,
-            flows: BTreeSet::new(),
+            entries: Vec::new(),
+            share: capacity_bps,
             delivered: 0,
             load: 0.0,
             peak_util: 0.0,
@@ -185,104 +286,118 @@ impl Kernel {
             self.schedule_in(SimDuration::ZERO, on_done);
             return;
         }
+        debug_assert!(
+            path.iter()
+                .all(|l| path.iter().filter(|m| *m == l).count() == 1),
+            "flow paths must not repeat a link"
+        );
         let latency = self.path_latency(path);
-        let path: Vec<LinkId> = path.to_vec();
+        let path = FlowPath::from_links(path);
+        let on_done: Action = Box::new(on_done);
         // After the latency elapses, the flow joins the links and begins
         // consuming bandwidth.
-        self.schedule_in(latency, move |k| {
-            let id = k.flows.alloc(Flow {
-                path: path.clone(),
-                remaining: bytes as f64,
-                total: bytes,
-                rate: 0.0,
-                last_update: k.now(),
-                generation: 0,
-                on_done: Some(Box::new(on_done)),
-            });
-            let mut affected = BTreeSet::new();
-            for l in &path {
-                let link = &mut k.flows.links[l.0];
-                affected.extend(link.flows.iter().copied());
-                link.flows.insert(id);
-            }
-            affected.insert(id);
-            if k.metrics.is_enabled() {
-                for l in &path {
-                    let name: &str = &k.flows.links[l.0].name;
-                    k.metrics
-                        .gauge_add("flow", "link_active_flows", &[("link", name)], 1.0);
-                }
-                k.metrics.gauge_add("flow", "active_flows", &[], 1.0);
-            }
-            k.reshare(&affected);
-        });
+        self.schedule_in(latency, move |k| k.activate_flow(path, bytes, on_done));
     }
 
-    /// Settle a link's busy-byte integral at `now`, then apply `delta` to its
-    /// load. When the metrics registry is enabled, also records the link's
-    /// utilization (time-weighted by the settled interval) and busy time.
-    fn settle_link(&mut self, l: LinkId, now: SimTime, delta: f64) {
-        let link = &mut self.flows.links[l.0];
-        let dt = now.since(link.last_change);
-        let secs = dt.as_secs_f64();
-        link.busy_bytes += link.load * secs;
-        link.last_change = now;
-        let old_load = link.load;
-        link.load += delta;
-        if self.metrics.is_enabled() && dt > SimDuration::ZERO {
-            let util = old_load / link.capacity;
-            let name: &str = &link.name;
-            self.metrics.observe_weighted(
-                "flow",
-                "link_utilization",
-                &[("link", name)],
-                util,
-                secs,
-            );
-            if old_load > 0.0 {
-                self.metrics
-                    .counter_add("flow", "link_busy_ps", &[("link", name)], dt.picos());
+    /// Join a flow onto its path links and give the affected set its first
+    /// reshare. Runs after the path latency has elapsed.
+    fn activate_flow(&mut self, path: FlowPath, bytes: u64, on_done: Action) {
+        let now = self.now();
+        let id = self.flows.alloc(Flow {
+            path,
+            remaining: bytes as f64,
+            total: bytes,
+            rate: 0.0,
+            last_update: now,
+            generation: 0,
+            on_done: Some(on_done),
+        });
+        let mut affected = std::mem::take(&mut self.flows.scratch);
+        {
+            let net = &mut self.flows;
+            // Split borrow: the flow lives in `net.flows`, membership in
+            // `net.links`.
+            let (links, flows) = (&mut net.links, &mut net.flows);
+            let flow = flows[id.0].as_mut().expect("flow just allocated");
+            for (hop, entry) in flow.path.hops_mut().iter_mut().enumerate() {
+                let link = &mut links[entry.0 .0];
+                affected.extend(link.entries.iter().map(|e| e.0));
+                entry.1 = link.entries.len() as u32;
+                link.entries.push((id, hop as u32));
+                link.share = link.capacity / link.entries.len() as f64;
             }
         }
+        affected.push(id);
+        if self.metrics.is_enabled() {
+            let flow = self.flows.flows[id.0]
+                .as_ref()
+                .expect("flow just allocated");
+            for &(l, _) in flow.path.hops() {
+                let name: &str = &self.flows.links[l.0].name;
+                self.metrics
+                    .gauge_add("flow", "link_active_flows", &[("link", name)], 1.0);
+            }
+            self.metrics.gauge_add("flow", "active_flows", &[], 1.0);
+        }
+        self.reshare(&mut affected);
+        affected.clear();
+        self.flows.scratch = affected;
     }
 
-    /// Settle remaining bytes and recompute rates for `affected` flows, then
+    /// Settle remaining bytes and recompute rates for `affected` flows
+    /// (duplicates welcome; the buffer is sorted and deduped in place), then
     /// re-project their completion events.
-    fn reshare(&mut self, affected: &BTreeSet<FlowId>) {
+    ///
+    /// Flows are processed in ascending id order — the same order the
+    /// original `BTreeSet`-based implementation used — because link
+    /// settlement accumulates floating-point state order-sensitively and
+    /// virtual times must stay bit-identical.
+    fn reshare(&mut self, affected: &mut Vec<FlowId>) {
+        affected.sort_unstable();
+        affected.dedup();
         let now = self.now();
-        for &fid in affected {
-            let Some(flow) = self.flows.flows[fid.0].as_ref() else {
+        let net = &mut self.flows;
+        let (links, flows, slot_gen) = (&mut net.links, &mut net.flows, &net.slot_gen);
+        let metrics = &mut self.metrics;
+        let (queue, next_seq) = (&mut self.queue, &mut self.next_seq);
+        for &fid in affected.iter() {
+            let Some(flow) = flows[fid.0].as_mut() else {
                 continue; // completed in the meantime
             };
-            // New bottleneck-fair rate.
+            // New bottleneck-fair rate: min of the cached link shares.
             let mut rate = f64::INFINITY;
-            for l in &flow.path {
-                let link = &self.flows.links[l.0];
-                let share = link.capacity / link.flows.len() as f64;
-                rate = rate.min(share);
+            for &(l, _) in flow.path.hops() {
+                rate = rate.min(links[l.0].share);
             }
-            let path = flow.path.clone();
             let old_rate = flow.rate;
-            for l in &path {
-                self.settle_link(*l, now, rate - old_rate);
+            for &(l, _) in flow.path.hops() {
+                settle_link(&mut links[l.0], metrics, now, rate - old_rate);
             }
-            let flow = self.flows.flows[fid.0].as_mut().unwrap();
             // Settle progress at the old rate.
             let dt = now.since(flow.last_update).as_secs_f64();
             flow.remaining = (flow.remaining - flow.rate * dt).max(0.0);
             flow.last_update = now;
             flow.rate = rate;
+            if flow.generation > slot_gen[fid.0] {
+                // This flow already had a projected completion; bumping the
+                // generation supersedes it.
+                self.stale_pending += 1;
+            }
             flow.generation += 1;
             let gen = flow.generation;
             let eta = SimDuration::from_secs_f64(flow.remaining / rate);
-            self.schedule_in(eta, move |k| k.finish_flow(fid, gen));
+            push_event(
+                queue,
+                next_seq,
+                now + eta,
+                EventKind::FlowFinish { fid, gen },
+            );
         }
         // Record utilization peaks only after the whole batch settles.
-        for &fid in affected {
-            if let Some(flow) = self.flows.flows[fid.0].as_ref() {
-                let path = flow.path.clone();
-                for l in &path {
-                    let link = &mut self.flows.links[l.0];
+        for &fid in affected.iter() {
+            if let Some(flow) = flows[fid.0].as_ref() {
+                for &(l, _) in flow.path.hops() {
+                    let link = &mut links[l.0];
                     let u = link.load / link.capacity;
                     if u > link.peak_util {
                         link.peak_util = u;
@@ -292,45 +407,64 @@ impl Kernel {
         }
     }
 
-    fn finish_flow(&mut self, fid: FlowId, gen: u64) {
-        let fresh = match self.flows.flows[fid.0].as_ref() {
-            Some(f) => f.generation == gen,
-            None => false,
-        };
-        if !fresh {
+    /// Deliver a flow's last byte: detach it from its links, reshare the
+    /// survivors, and run its callback. Called by the event loop for fresh
+    /// [`EventKind::FlowFinish`] events.
+    pub(crate) fn finish_flow(&mut self, fid: FlowId, gen: u64) {
+        if !self.flows.is_fresh(fid, gen) {
             return; // superseded by a rate change
         }
-        let flow = self.flows.flows[fid.0].take().expect("flow vanished");
+        let mut flow = self.flows.flows[fid.0].take().expect("flow vanished");
         // Outstanding (stale) events carry generations <= flow.generation;
         // start the next occupant of this slot above all of them.
         self.flows.slot_gen[fid.0] = flow.generation + 1;
         self.flows.free.push(fid.0);
         self.flows.active -= 1;
-        let mut affected = BTreeSet::new();
         let now = self.now();
-        for l in &flow.path {
-            let link = &mut self.flows.links[l.0];
-            link.flows.remove(&fid);
-            link.delivered += flow.total;
-            self.settle_link(*l, now, -flow.rate);
-            if self.metrics.is_enabled() {
-                let name: &str = &self.flows.links[l.0].name;
-                self.metrics.counter_add(
-                    "flow",
-                    "link_delivered_bytes",
-                    &[("link", name)],
-                    flow.total,
-                );
-                self.metrics
-                    .gauge_add("flow", "link_active_flows", &[("link", name)], -1.0);
+        let mut affected = std::mem::take(&mut self.flows.scratch);
+        {
+            let net = &mut self.flows;
+            let (links, flows) = (&mut net.links, &mut net.flows);
+            let metrics = &mut self.metrics;
+            for (hop, &(l, pos)) in flow.path.hops().iter().enumerate() {
+                let link = &mut links[l.0];
+                let removed = link.entries.swap_remove(pos as usize);
+                debug_assert_eq!(removed, (fid, hop as u32), "link entry out of sync");
+                // The swapped-in entry moved; tell its owner.
+                if let Some(&(moved, moved_hop)) = link.entries.get(pos as usize) {
+                    flows[moved.0]
+                        .as_mut()
+                        .expect("dangling link entry")
+                        .path
+                        .set_pos(moved_hop as usize, pos);
+                }
+                link.share = if link.entries.is_empty() {
+                    link.capacity
+                } else {
+                    link.capacity / link.entries.len() as f64
+                };
+                link.delivered += flow.total;
+                settle_link(link, metrics, now, -flow.rate);
+                if metrics.is_enabled() {
+                    let name: &str = &links[l.0].name;
+                    metrics.counter_add(
+                        "flow",
+                        "link_delivered_bytes",
+                        &[("link", name)],
+                        flow.total,
+                    );
+                    metrics.gauge_add("flow", "link_active_flows", &[("link", name)], -1.0);
+                }
+                affected.extend(links[l.0].entries.iter().map(|e| e.0));
             }
-            affected.extend(self.flows.links[l.0].flows.iter().copied());
+            if metrics.is_enabled() {
+                metrics.gauge_add("flow", "active_flows", &[], -1.0);
+            }
         }
-        if self.metrics.is_enabled() {
-            self.metrics.gauge_add("flow", "active_flows", &[], -1.0);
-        }
-        self.reshare(&affected);
-        if let Some(cb) = flow.on_done {
+        self.reshare(&mut affected);
+        affected.clear();
+        self.flows.scratch = affected;
+        if let Some(cb) = flow.on_done.take() {
             cb(self);
         }
     }

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::fifo::FifoTable;
-use crate::flow::FlowNet;
+use crate::flow::{FlowId, FlowNet};
 use crate::metrics::Metrics;
 use crate::sched::SchedState;
 use crate::time::{SimDuration, SimTime};
@@ -27,11 +27,43 @@ use crate::trace::Trace;
 /// A callback run by the event loop. Runs at most once.
 pub type Action = Box<dyn FnOnce(&mut Kernel) + Send>;
 
-struct Event {
+/// What happens when an event fires. Flow completions — by far the most
+/// common event at paper scale, and the only kind that is routinely
+/// superseded — are a plain enum variant instead of a boxed closure, so
+/// re-projecting a flow allocates nothing and a stale completion can be
+/// recognized (and dropped) without executing it.
+pub(crate) enum EventKind {
+    /// Run a boxed callback.
+    Call(Action),
+    /// Deliver the last byte of flow `fid`, provided its generation still
+    /// equals `gen` (otherwise the event is stale: the flow was re-rated or
+    /// already finished and the slot possibly reused).
+    FlowFinish { fid: FlowId, gen: u64 },
+}
+
+pub(crate) struct Event {
     at: SimTime,
     seq: u64,
-    action: Action,
+    kind: EventKind,
 }
+
+/// Append an event to a queue, assigning the next sequence number. A free
+/// function (not a method) so the flow network can schedule completions
+/// while holding disjoint borrows of other kernel fields.
+pub(crate) fn push_event(
+    queue: &mut BinaryHeap<Event>,
+    next_seq: &mut u64,
+    at: SimTime,
+    kind: EventKind,
+) {
+    let seq = *next_seq;
+    *next_seq += 1;
+    queue.push(Event { at, seq, kind });
+}
+
+/// Compact the heap once at least this many stale completions accumulated
+/// (and they make up at least half the queue — see [`Kernel::step`]).
+const STALE_COMPACT_MIN: usize = 4096;
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
@@ -98,8 +130,8 @@ impl std::fmt::Debug for Completion {
 /// The heart of the simulator. See module docs.
 pub struct Kernel {
     now: SimTime,
-    next_seq: u64,
-    queue: BinaryHeap<Event>,
+    pub(crate) next_seq: u64,
+    pub(crate) queue: BinaryHeap<Event>,
     pub(crate) flows: FlowNet,
     pub(crate) fifos: FifoTable,
     pub(crate) sched: SchedState,
@@ -108,6 +140,14 @@ pub struct Kernel {
     /// Metrics registry (counters, gauges, histograms); disabled by default.
     pub metrics: Metrics,
     executed_events: u64,
+    /// Flow-completion events still queued whose generation no longer
+    /// matches their flow — bumped by the flow network on every
+    /// re-projection, decremented as stale events are skipped or compacted.
+    pub(crate) stale_pending: usize,
+    /// Stale completions discarded so far (skipped at pop or compacted).
+    stale_dropped: u64,
+    /// Times the event heap was rebuilt to shed stale completions.
+    compactions: u64,
 }
 
 impl Default for Kernel {
@@ -129,6 +169,9 @@ impl Kernel {
             trace: Trace::new(),
             metrics: Metrics::new(),
             executed_events: 0,
+            stale_pending: 0,
+            stale_dropped: 0,
+            compactions: 0,
         }
     }
 
@@ -138,9 +181,26 @@ impl Kernel {
         self.now
     }
 
-    /// Number of events executed so far (diagnostics).
+    /// Number of events executed so far (diagnostics). Stale flow
+    /// completions are skipped, not executed, and do not count.
     pub fn executed_events(&self) -> u64 {
         self.executed_events
+    }
+
+    /// Stale flow-completion events discarded so far (diagnostics).
+    pub fn stale_events_dropped(&self) -> u64 {
+        self.stale_dropped
+    }
+
+    /// Times the event heap was compacted to shed stale completions
+    /// (diagnostics).
+    pub fn heap_compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Events currently queued, live and stale (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     /// Schedule `action` to run at absolute time `at`. Scheduling into the
@@ -148,13 +208,12 @@ impl Kernel {
     /// callback returns).
     pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Kernel) + Send + 'static) {
         let at = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(Event {
+        push_event(
+            &mut self.queue,
+            &mut self.next_seq,
             at,
-            seq,
-            action: Box::new(action),
-        });
+            EventKind::Call(Box::new(action)),
+        );
     }
 
     /// Schedule `action` to run `d` from now.
@@ -257,17 +316,59 @@ impl Kernel {
 
     /// Execute the earliest pending event (advancing the clock to it).
     /// Returns `false` if the queue was empty.
+    ///
+    /// A stale flow completion (generation mismatch) is discarded without
+    /// advancing the clock or counting as executed; the call still returns
+    /// `true` because the queue made progress. When enough stale events
+    /// accumulate (`STALE_COMPACT_MIN`, and at least half the queue), the
+    /// heap is rebuilt without them so their `O(log n)` sift cost and
+    /// memory are not paid for the rest of the run.
     pub fn step(&mut self) -> bool {
+        if self.stale_pending >= STALE_COMPACT_MIN && self.stale_pending * 2 >= self.queue.len() {
+            self.compact_queue();
+        }
         match self.queue.pop() {
             Some(ev) => {
-                debug_assert!(ev.at >= self.now, "event queue went backwards");
-                self.now = ev.at;
-                self.executed_events += 1;
-                (ev.action)(self);
+                match ev.kind {
+                    EventKind::Call(action) => {
+                        debug_assert!(ev.at >= self.now, "event queue went backwards");
+                        self.now = ev.at;
+                        self.executed_events += 1;
+                        action(self);
+                    }
+                    EventKind::FlowFinish { fid, gen } => {
+                        if self.flows.is_fresh(fid, gen) {
+                            debug_assert!(ev.at >= self.now, "event queue went backwards");
+                            self.now = ev.at;
+                            self.executed_events += 1;
+                            self.finish_flow(fid, gen);
+                        } else {
+                            self.stale_pending = self.stale_pending.saturating_sub(1);
+                            self.stale_dropped += 1;
+                        }
+                    }
+                }
                 true
             }
             None => false,
         }
+    }
+
+    /// Rebuild the event heap without stale flow completions. Pop order of
+    /// the survivors is unchanged: the comparator is the same and `(time,
+    /// seq)` keys are unique.
+    fn compact_queue(&mut self) {
+        let before = self.queue.len();
+        let mut events = std::mem::take(&mut self.queue).into_vec();
+        events.retain(|ev| match ev.kind {
+            EventKind::Call(_) => true,
+            EventKind::FlowFinish { fid, gen } => self.flows.is_fresh(fid, gen),
+        });
+        let dropped = before - events.len();
+        self.queue = BinaryHeap::from(events);
+        self.stale_pending = self.stale_pending.saturating_sub(dropped);
+        self.stale_dropped += dropped as u64;
+        self.compactions += 1;
     }
 
     /// Run the event loop until the queue drains. For pure event-driven

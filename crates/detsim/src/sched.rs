@@ -11,7 +11,6 @@
 //! Because grants depend only on (deterministic) event order and thread ids,
 //! a simulation produces bit-identical virtual times on every run.
 
-use std::collections::BTreeSet;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -22,13 +21,93 @@ use crate::park::{Parker, Unparker};
 use crate::kernel::{Completion, Kernel};
 use crate::time::{SimDuration, SimTime};
 
+/// Lifecycle of one sim thread, indexed by thread id.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RankState {
+    /// In the ready queue, waiting for the token.
+    Ready,
+    /// Holds the token.
+    Running,
+    /// Parked on a blocking primitive; not in the ready queue.
+    Blocked,
+    /// Program returned (or unwound); never runnable again.
+    Finished,
+}
+
+/// Two-level bitset of ready thread ids with O(1) lowest-id pop.
+///
+/// Level 0 packs one bit per thread; level 1 summarizes which level-0 words
+/// are non-empty. `pop_first` finds the lowest set bit via two
+/// `trailing_zeros` — constant time up to 4096 threads, and one extra word
+/// scan per further 4096. This replaces a `BTreeSet<usize>`, whose node
+/// allocations and pointer chasing dominated token hand-off at paper scale
+/// (1536 ranks = 256 nodes x 6).
+struct ReadyQueue {
+    words: Vec<u64>,
+    summary: Vec<u64>,
+}
+
+impl ReadyQueue {
+    fn new() -> Self {
+        ReadyQueue {
+            words: Vec::new(),
+            summary: Vec::new(),
+        }
+    }
+
+    /// Size for `n` thread ids, all bits clear.
+    fn reset(&mut self, n: usize) {
+        let nw = n.div_ceil(64);
+        self.words.clear();
+        self.words.resize(nw, 0);
+        self.summary.clear();
+        self.summary.resize(nw.div_ceil(64), 0);
+    }
+
+    /// Idempotent.
+    fn insert(&mut self, tid: usize) {
+        let w = tid / 64;
+        self.words[w] |= 1u64 << (tid % 64);
+        self.summary[w / 64] |= 1u64 << (w % 64);
+    }
+
+    fn remove(&mut self, tid: usize) {
+        let w = tid / 64;
+        if w >= self.words.len() {
+            return;
+        }
+        self.words[w] &= !(1u64 << (tid % 64));
+        if self.words[w] == 0 {
+            self.summary[w / 64] &= !(1u64 << (w % 64));
+        }
+    }
+
+    /// Remove and return the lowest ready thread id.
+    fn pop_first(&mut self) -> Option<usize> {
+        for (si, summary) in self.summary.iter_mut().enumerate() {
+            if *summary == 0 {
+                continue;
+            }
+            let w = si * 64 + summary.trailing_zeros() as usize;
+            let bits = self.words[w];
+            let remaining = bits & (bits - 1);
+            self.words[w] = remaining;
+            if remaining == 0 {
+                *summary &= !(1u64 << (w % 64));
+            }
+            return Some(w * 64 + bits.trailing_zeros() as usize);
+        }
+        None
+    }
+}
+
 /// Scheduler bookkeeping; lives inside [`Kernel`] so event callbacks can wake
 /// threads.
 pub(crate) struct SchedState {
-    runnable: BTreeSet<usize>,
+    ready: ReadyQueue,
+    state: Vec<RankState>,
     current: Option<usize>,
     alive: usize,
-    finished: Vec<bool>,
     poisoned: bool,
     unparkers: Vec<Unparker>,
 }
@@ -36,10 +115,10 @@ pub(crate) struct SchedState {
 impl SchedState {
     pub(crate) fn new() -> Self {
         SchedState {
-            runnable: BTreeSet::new(),
+            ready: ReadyQueue::new(),
+            state: Vec::new(),
             current: None,
             alive: 0,
-            finished: Vec::new(),
             poisoned: false,
             unparkers: Vec::new(),
         }
@@ -48,13 +127,14 @@ impl SchedState {
     /// Mark a thread ready to receive the token. Idempotent; no-ops for the
     /// currently-running or already-finished threads.
     pub(crate) fn make_runnable(&mut self, tid: usize) {
-        if self.finished.get(tid).copied().unwrap_or(true) {
-            return;
+        // Running: a wakeup for the token holder is meaningless — it
+        // re-checks its wait condition before blocking. Ready: already
+        // queued. Finished / out of range (a stale waiter from an earlier
+        // `Sim::run`): gone.
+        if let Some(RankState::Blocked) = self.state.get(tid) {
+            self.state[tid] = RankState::Ready;
+            self.ready.insert(tid);
         }
-        if self.current == Some(tid) {
-            return;
-        }
-        self.runnable.insert(tid);
     }
 }
 
@@ -134,8 +214,8 @@ impl Sim {
                 k.sched.alive == 0 && k.sched.current.is_none(),
                 "Sim::run re-entered while already running"
             );
-            k.sched.runnable.clear();
-            k.sched.finished = vec![false; n];
+            k.sched.ready.reset(n);
+            k.sched.state = vec![RankState::Ready; n];
             k.sched.poisoned = false;
             k.sched.alive = n;
             k.sched.unparkers.clear();
@@ -145,7 +225,7 @@ impl Sim {
                 parkers.push(p);
             }
             for tid in 0..n {
-                k.sched.runnable.insert(tid);
+                k.sched.ready.insert(tid);
             }
             dispatch(&mut k);
         }
@@ -208,7 +288,8 @@ struct SimPoisoned;
 fn dispatch(k: &mut Kernel) {
     debug_assert!(k.sched.current.is_none());
     loop {
-        if let Some(next) = k.sched.runnable.pop_first() {
+        if let Some(next) = k.sched.ready.pop_first() {
+            k.sched.state[next] = RankState::Running;
             k.sched.current = Some(next);
             k.sched.unparkers[next].unpark();
             return;
@@ -219,8 +300,8 @@ fn dispatch(k: &mut Kernel) {
         if !k.step() {
             k.sched.poisoned = true;
             let alive = k.sched.alive;
-            let blocked: Vec<usize> = (0..k.sched.finished.len())
-                .filter(|&t| !k.sched.finished[t])
+            let blocked: Vec<usize> = (0..k.sched.state.len())
+                .filter(|&t| k.sched.state[t] != RankState::Finished)
                 .collect();
             for u in &k.sched.unparkers {
                 u.unpark();
@@ -314,6 +395,7 @@ impl SimCtx {
     fn block<'a>(&'a self, mut guard: MutexGuard<'a, Kernel>) -> MutexGuard<'a, Kernel> {
         debug_assert_eq!(guard.sched.current, Some(self.tid));
         guard.sched.current = None;
+        guard.sched.state[self.tid] = RankState::Blocked;
         dispatch(&mut guard);
         drop(guard);
         self.wait_granted_inner()
@@ -345,11 +427,11 @@ impl SimCtx {
     /// Mark this thread finished and hand off the token.
     fn retire(&self, panicked: bool) {
         let mut k = self.shared.kernel.lock();
-        if k.sched.finished[self.tid] {
+        if k.sched.state[self.tid] == RankState::Finished {
             return;
         }
-        k.sched.finished[self.tid] = true;
-        k.sched.runnable.remove(&self.tid);
+        k.sched.state[self.tid] = RankState::Finished;
+        k.sched.ready.remove(self.tid);
         k.sched.alive -= 1;
         if k.sched.current == Some(self.tid) {
             k.sched.current = None;
@@ -369,6 +451,24 @@ impl SimCtx {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn ready_queue_pops_in_ascending_order() {
+        let mut q = ReadyQueue::new();
+        q.reset(200);
+        for tid in [150, 3, 64, 199, 0, 65, 127, 128] {
+            q.insert(tid);
+        }
+        q.insert(3); // idempotent
+        q.remove(127);
+        q.remove(127); // idempotent
+        let mut got = Vec::new();
+        while let Some(t) = q.pop_first() {
+            got.push(t);
+        }
+        assert_eq!(got, vec![0, 3, 64, 65, 128, 150, 199]);
+        assert_eq!(q.pop_first(), None);
+    }
 
     #[test]
     fn threads_interleave_by_virtual_time() {

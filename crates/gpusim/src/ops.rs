@@ -147,8 +147,10 @@ impl GpuMachine {
             k.schedule_in(latency, move |k| {
                 k.start_flow(&path, len, move |k| {
                     dst.copy_from(dst_off, &src, src_off, len);
-                    k.trace
-                        .record(track, format!("{label} {len}B"), "memcpy", start, k.now());
+                    if k.trace.is_enabled() {
+                        k.trace
+                            .record(track, format!("{label} {len}B"), "memcpy", start, k.now());
+                    }
                     k.fifo_task_done(token);
                     k.complete(&d2);
                 });

@@ -294,8 +294,10 @@ impl MpiState {
         k.schedule_in(extra_latency, move |k| {
             k.start_flow(&path, bytes, move |k| {
                 recv.buf.copy_from(recv.off, &send.buf, send.off, bytes);
-                k.trace
-                    .record(track, format!("{label} {bytes}B"), "mpi", start, k.now());
+                if k.trace.is_enabled() {
+                    k.trace
+                        .record(track, format!("{label} {bytes}B"), "mpi", start, k.now());
+                }
                 k.complete(&send.done);
                 k.complete(&recv.done);
             });
@@ -357,13 +359,15 @@ impl MpiState {
             k.schedule_in(overhead, move |k| {
                 k.start_flow(&path, bytes, move |k| {
                     recv.buf.copy_from(recv.off, &send.buf, send.off, bytes);
-                    k.trace.record(
-                        track,
-                        format!("MPI cuda-aware {bytes}B"),
-                        "mpi",
-                        start,
-                        k.now(),
-                    );
+                    if k.trace.is_enabled() {
+                        k.trace.record(
+                            track,
+                            format!("MPI cuda-aware {bytes}B"),
+                            "mpi",
+                            start,
+                            k.now(),
+                        );
+                    }
                     k.complete(&send.done);
                     k.complete(&recv.done);
                     k.complete(&landed3);

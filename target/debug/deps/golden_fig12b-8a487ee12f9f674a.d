@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_fig12b-8a487ee12f9f674a.d: crates/bench/tests/golden_fig12b.rs
+
+/root/repo/target/debug/deps/golden_fig12b-8a487ee12f9f674a: crates/bench/tests/golden_fig12b.rs
+
+crates/bench/tests/golden_fig12b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_fig12b-d208ef718539410d.d: crates/bench/tests/golden_fig12b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_fig12b-d208ef718539410d.rmeta: crates/bench/tests/golden_fig12b.rs Cargo.toml
+
+crates/bench/tests/golden_fig12b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

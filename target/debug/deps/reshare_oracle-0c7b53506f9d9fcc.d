@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reshare_oracle-0c7b53506f9d9fcc.d: crates/detsim/tests/reshare_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreshare_oracle-0c7b53506f9d9fcc.rmeta: crates/detsim/tests/reshare_oracle.rs Cargo.toml
+
+crates/detsim/tests/reshare_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

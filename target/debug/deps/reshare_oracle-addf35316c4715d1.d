@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reshare_oracle-addf35316c4715d1.d: crates/detsim/tests/reshare_oracle.rs
+
+/root/repo/target/debug/deps/reshare_oracle-addf35316c4715d1: crates/detsim/tests/reshare_oracle.rs
+
+crates/detsim/tests/reshare_oracle.rs:

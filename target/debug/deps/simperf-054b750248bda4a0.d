@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simperf-054b750248bda4a0.d: crates/bench/src/bin/simperf.rs
+
+/root/repo/target/debug/deps/simperf-054b750248bda4a0: crates/bench/src/bin/simperf.rs
+
+crates/bench/src/bin/simperf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simperf-3868158d954d136d.d: crates/bench/src/bin/simperf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimperf-3868158d954d136d.rmeta: crates/bench/src/bin/simperf.rs Cargo.toml
+
+crates/bench/src/bin/simperf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simperf-5f6b7e35a4a6b7dc.d: crates/bench/src/bin/simperf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimperf-5f6b7e35a4a6b7dc.rmeta: crates/bench/src/bin/simperf.rs Cargo.toml
+
+crates/bench/src/bin/simperf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simperf-5fae12bbffda973b.d: crates/bench/src/bin/simperf.rs
+
+/root/repo/target/debug/deps/simperf-5fae12bbffda973b: crates/bench/src/bin/simperf.rs
+
+crates/bench/src/bin/simperf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/goldcap-d96f5466bd16cebf.d: crates/bench/src/bin/goldcap.rs
+
+/root/repo/target/release/deps/goldcap-d96f5466bd16cebf: crates/bench/src/bin/goldcap.rs
+
+crates/bench/src/bin/goldcap.rs:

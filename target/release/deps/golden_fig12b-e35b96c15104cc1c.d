@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden_fig12b-e35b96c15104cc1c.d: crates/bench/tests/golden_fig12b.rs
+
+/root/repo/target/release/deps/golden_fig12b-e35b96c15104cc1c: crates/bench/tests/golden_fig12b.rs
+
+crates/bench/tests/golden_fig12b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simperf-d27f17550b838291.d: crates/bench/src/bin/simperf.rs
+
+/root/repo/target/release/deps/simperf-d27f17550b838291: crates/bench/src/bin/simperf.rs
+
+crates/bench/src/bin/simperf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmpprof-2f93529ca10f121c.d: crates/bench/src/bin/tmpprof.rs
+
+/root/repo/target/release/deps/tmpprof-2f93529ca10f121c: crates/bench/src/bin/tmpprof.rs
+
+crates/bench/src/bin/tmpprof.rs:
