@@ -23,4 +23,8 @@ echo "==> bench smoke (simperf --quick)"
 ./target/release/simperf --quick --json /tmp/simperf_smoke.json
 ./target/release/simperf --validate /tmp/simperf_smoke.json
 
+echo "==> chaos smoke (chaos --quick)"
+./target/release/chaos --quick --iters 2 --metrics /tmp/chaos_smoke.json
+test -s /tmp/chaos_smoke.json
+
 echo "==> OK"

@@ -1,0 +1,209 @@
+//! Chaos bench: named deterministic fault scenarios over the simulated
+//! cluster, measuring how halo-exchange time responds — and, for the
+//! headline `degraded-triad` scenario, how much of the loss adaptive
+//! re-placement recovers.
+//!
+//! ```text
+//! chaos [--quick] [--iters N] [--metrics PATH] [--scenario NAME]...
+//! ```
+//!
+//! Scenarios (default: all):
+//! - `degraded-triad`: the healthy placement's busiest NVLink drops to
+//!   10% mid-run; compares no-adaptation, adaptive re-placement, and a
+//!   fresh-optimal rebuild.
+//! - `flapping-nic`: one node's NIC repeatedly stalls and recovers.
+//! - `straggler-gpu`: one device's pack/unpack engine runs at 25%.
+//! - `cascading`: triad degradation, then a NIC flap, then a straggler,
+//!   all live at once by the end.
+//!
+//! Every scenario is driven by an explicit event table in virtual time —
+//! no randomness — so repeated runs are bit-identical.
+
+use detsim::SimDuration;
+use faultsim::FaultSchedule;
+use stencil_bench::chaos::{degraded_triad_run, heaviest_triad_pair, TriadMode};
+use stencil_bench::{
+    fmt_ms, measure_exchange, node_aware_placements, write_metrics_json, ExchangeConfig,
+};
+use stencil_core::Partition;
+
+struct ChaosArgs {
+    quick: bool,
+    iters: usize,
+    metrics: Option<String>,
+    scenarios: Vec<String>,
+}
+
+fn parse_args() -> ChaosArgs {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut parsed = ChaosArgs {
+        quick: false,
+        iters: 3,
+        metrics: None,
+        scenarios: Vec::new(),
+    };
+    let operand = |i: usize| -> &String {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                parsed.quick = true;
+                i += 1;
+            }
+            "--iters" => {
+                parsed.iters = operand(i).parse().expect("--iters N");
+                i += 2;
+            }
+            "--metrics" => {
+                parsed.metrics = Some(operand(i).clone());
+                i += 2;
+            }
+            "--scenario" => {
+                parsed.scenarios.push(operand(i).clone());
+                i += 2;
+            }
+            other => panic!(
+                "unknown flag {other} (expected --quick / --iters N / --metrics PATH / --scenario NAME)"
+            ),
+        }
+    }
+    if parsed.scenarios.is_empty() {
+        parsed.scenarios = [
+            "degraded-triad",
+            "flapping-nic",
+            "straggler-gpu",
+            "cascading",
+        ]
+        .map(String::from)
+        .to_vec();
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    println!("Chaos — deterministic fault injection over the simulated cluster");
+    println!("================================================================");
+    let mut last_report = None;
+    for name in &args.scenarios {
+        match name.as_str() {
+            "degraded-triad" => degraded_triad(&args, &mut last_report),
+            "flapping-nic" => flapping_nic(&args, &mut last_report),
+            "straggler-gpu" => straggler_gpu(&args, &mut last_report),
+            "cascading" => cascading(&args, &mut last_report),
+            other => panic!("unknown scenario {other}"),
+        }
+        println!();
+    }
+    if let (Some(path), Some(report)) = (args.metrics.as_deref(), last_report.as_ref()) {
+        write_metrics_json(path, report);
+    }
+}
+
+/// The headline scenario: adaptation vs. no adaptation vs. fresh-optimal.
+fn degraded_triad(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsReport>) {
+    let domain = if args.quick {
+        [720, 726, 350]
+    } else {
+        [1440, 1452, 700]
+    };
+    let (warmup, measure) = (3, args.iters);
+    println!(
+        "degraded-triad: busiest placed NVLink on 1 Summit node -> 10% bandwidth, domain {}x{}x{}",
+        domain[0], domain[1], domain[2]
+    );
+    let no_adapt = degraded_triad_run(domain, 6, 0.1, warmup, measure, TriadMode::NoAdapt);
+    let adapt = degraded_triad_run(domain, 6, 0.1, warmup, measure, TriadMode::Adapt);
+    let fresh = degraded_triad_run(domain, 6, 0.1, warmup, measure, TriadMode::FreshOptimal);
+    println!(
+        "  healthy placement, pre-fault : {}",
+        fmt_ms(no_adapt.healthy_mean)
+    );
+    println!(
+        "  stale placement,  post-fault : {}  ({:.2}x healthy)",
+        fmt_ms(no_adapt.degraded_mean),
+        no_adapt.degraded_mean / no_adapt.healthy_mean
+    );
+    println!(
+        "  adaptive re-placement        : {}  (adapted: {})",
+        fmt_ms(adapt.degraded_mean),
+        adapt.adapted
+    );
+    println!(
+        "  fresh-optimal (lower bound)  : {}",
+        fmt_ms(fresh.degraded_mean)
+    );
+    println!(
+        "  adaptation recovers to {:.2}x fresh-optimal; not adapting costs {:.2}x",
+        adapt.degraded_mean / fresh.degraded_mean,
+        no_adapt.degraded_mean / adapt.degraded_mean
+    );
+    if let Some(r) = adapt.metrics {
+        *last_report = Some(r);
+    }
+}
+
+/// Compare a clean run against the same run with a fault schedule.
+fn faulted_vs_clean(
+    label: &str,
+    cfg: ExchangeConfig,
+    faults: FaultSchedule,
+    last_report: &mut Option<detsim::MetricsReport>,
+) {
+    let clean = measure_exchange(&cfg);
+    let faulted = measure_exchange(&cfg.clone().metrics(true).faults(faults));
+    println!(
+        "  {:<28} clean {}  faulted {}  ({:.2}x)",
+        label,
+        fmt_ms(clean.mean),
+        fmt_ms(faulted.mean),
+        faulted.mean / clean.mean
+    );
+    if let Some(r) = faulted.metrics {
+        *last_report = Some(r);
+    }
+}
+
+fn flapping_nic(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsReport>) {
+    let extent = if args.quick { 472 } else { 945 };
+    println!("flapping-nic: node 0's NIC stalls 500us, recovers 250us, x3 (2 nodes, {extent}^3)");
+    let cfg = ExchangeConfig::new(2, 6, extent).iters(args.iters.max(4));
+    let faults = FaultSchedule::flapping_nic(
+        0,
+        SimDuration::from_micros(100),
+        SimDuration::from_micros(500),
+        SimDuration::from_micros(250),
+        3,
+    );
+    faulted_vs_clean("2n/6r staged over IB", cfg, faults, last_report);
+}
+
+fn straggler_gpu(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsReport>) {
+    let extent = if args.quick { 375 } else { 750 };
+    println!("straggler-gpu: device 2's pack engine at 5% from t=0 (1 node, {extent}^3)");
+    let cfg = ExchangeConfig::new(1, 6, extent).iters(args.iters);
+    let faults = FaultSchedule::straggler_gpu(2, SimDuration::ZERO, 0.05);
+    faulted_vs_clean("1n/6r all methods", cfg, faults, last_report);
+}
+
+fn cascading(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsReport>) {
+    let extent = if args.quick { 472 } else { 945 };
+    println!("cascading: triad link -> NIC flaps -> straggler, 300us apart (2 nodes, {extent}^3)");
+    let cfg = ExchangeConfig::new(2, 6, extent).iters(args.iters.max(4));
+    // Aim the triad fault at the busiest placed NVLink so it bites.
+    let placements = node_aware_placements(&cfg);
+    let part = Partition::new([extent, extent, extent], 2, 6);
+    let (a, b) = heaviest_triad_pair(&part, &placements[0], cfg.radius, cfg.quantities);
+    let faults = FaultSchedule::cascading(
+        0,
+        a,
+        b,
+        2,
+        SimDuration::from_micros(100),
+        SimDuration::from_micros(300),
+    );
+    faulted_vs_clean("2n/6r all methods", cfg, faults, last_report);
+}

@@ -5,9 +5,11 @@
 //! Paper claims: time flattens once most nodes have 26 distinct neighbors
 //! (~32 nodes); at 256 nodes specialization gives ~1.16x over Staged-only.
 
+use std::sync::Arc;
+
 use stencil_bench::{
-    bench_args, fmt_ms, measure_exchange, tiers, weak_scaling_extent, write_metrics_json,
-    ExchangeConfig,
+    bench_args, fmt_ms, measure_exchange, node_aware_placements, tiers, weak_scaling_extent,
+    write_metrics_json, ExchangeConfig,
 };
 
 fn main() {
@@ -27,6 +29,8 @@ fn main() {
             break;
         }
         let extent = weak_scaling_extent(750, nodes * 6);
+        // One QAP/partition solve per row, shared by all four method tiers.
+        let pre = node_aware_placements(&ExchangeConfig::new(nodes, 6, extent));
         let mut row = Vec::new();
         for (i, (_, m)) in all_tiers.iter().enumerate() {
             // Collect the metrics artifact from the fully specialized tier;
@@ -35,7 +39,8 @@ fn main() {
             let cfg = ExchangeConfig::new(nodes, 6, extent)
                 .methods(*m)
                 .iters(iters)
-                .metrics(collect);
+                .metrics(collect)
+                .preplaced(Arc::clone(&pre));
             let r = measure_exchange(&cfg);
             if let Some(report) = r.metrics {
                 last_report = Some(report);

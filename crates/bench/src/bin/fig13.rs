@@ -5,8 +5,11 @@
 //! specialization stops improving things past ~32 nodes; strong scaling
 //! stalls at 256 nodes as subdomains become tiny.
 
+use std::sync::Arc;
+
 use stencil_bench::{
-    bench_args, fmt_ms, measure_exchange, tiers, write_metrics_json, ExchangeConfig,
+    bench_args, fmt_ms, measure_exchange, node_aware_placements, tiers, write_metrics_json,
+    ExchangeConfig,
 };
 
 fn main() {
@@ -26,13 +29,16 @@ fn main() {
         if nodes > args.max_nodes {
             break;
         }
+        // One QAP/partition solve per row, shared by all four method tiers.
+        let pre = node_aware_placements(&ExchangeConfig::new(nodes, 6, extent));
         let mut row = Vec::new();
         for (i, (_, m)) in all_tiers.iter().enumerate() {
             let collect = args.metrics.is_some() && i == all_tiers.len() - 1;
             let cfg = ExchangeConfig::new(nodes, 6, extent)
                 .methods(*m)
                 .iters(iters)
-                .metrics(collect);
+                .metrics(collect)
+                .preplaced(Arc::clone(&pre));
             let r = measure_exchange(&cfg);
             if let Some(report) = r.metrics {
                 last_report = Some(report);

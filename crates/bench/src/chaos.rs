@@ -1,0 +1,233 @@
+//! Resilience scenario harness shared by the `chaos` bench binary and the
+//! degraded-triad acceptance test.
+//!
+//! The headline scenario follows the paper's premise in reverse: placement
+//! matches exchange volume to link bandwidth, so when a link's bandwidth
+//! collapses mid-run the placement is suddenly wrong. The harness runs the
+//! same physical fault under three policies — keep the stale placement,
+//! adapt ([`stencil_core::HealthMonitor`] +
+//! `DistributedDomain::adapt_placement`), or rebuild from scratch against
+//! the degraded substrate (the recovery target) — and reports steady-state
+//! exchange times for each.
+
+use std::sync::Arc;
+
+use detsim::{MetricsReport, SimDuration};
+use faultsim::FaultSchedule;
+use gpusim::DataMode;
+use mpisim::{run_world, WorldConfig};
+use parking_lot::Mutex;
+use stencil_core::dim3::Boundary;
+use stencil_core::placement::flow_matrix_bc;
+use stencil_core::{
+    DomainBuilder, Health, HealthMonitor, Methods, Neighborhood, Partition, Placement,
+    PlacementStrategy, Radius,
+};
+use topo::summit::summit_cluster;
+
+use crate::{node_aware_placements, ExchangeConfig};
+
+/// Policy for responding to the mid-run triad degradation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TriadMode {
+    /// Keep the pre-fault placement: the control arm showing the cost of
+    /// not adapting.
+    NoAdapt,
+    /// Detect the degradation with a [`HealthMonitor`] and trigger
+    /// adaptive re-placement.
+    Adapt,
+    /// Build the domain from scratch with empirical placement while the
+    /// fault is already live — the fresh-optimal recovery target that
+    /// adaptation is measured against.
+    FreshOptimal,
+}
+
+/// Outcome of one degraded-triad run.
+#[derive(Clone, Debug)]
+pub struct TriadRun {
+    /// Mean max-across-ranks exchange seconds before the fault (for
+    /// [`TriadMode::FreshOptimal`] the fault is live from the start, so
+    /// this is just its warmup under the degraded substrate).
+    pub healthy_mean: f64,
+    /// Mean max-across-ranks exchange seconds in the post-fault steady
+    /// state (after adaptation, when the mode adapts).
+    pub degraded_mean: f64,
+    /// Whether adaptive re-placement ran and changed the placement.
+    pub adapted: bool,
+    /// Metrics snapshot of the run.
+    pub metrics: Option<MetricsReport>,
+}
+
+/// The same-triad GPU pair carrying the most exchange volume under
+/// `placement` — the highest-impact NVLink to degrade. Restricting to
+/// same-triad pairs keeps the fault on a dedicated GPU-GPU link (a
+/// cross-socket pair would degrade the shared X-Bus path instead).
+pub fn heaviest_triad_pair(
+    part: &Partition,
+    placement: &Placement,
+    radius: u64,
+    quantities: usize,
+) -> (usize, usize) {
+    let idx = part.node_from_linear(0);
+    let w = flow_matrix_bc(
+        part,
+        idx,
+        Neighborhood::Full26,
+        &Radius::constant(radius),
+        quantities,
+        4,
+        Boundary::Periodic,
+    );
+    let triad = |g: usize| g / 3;
+    let mut best = (0usize, 1usize);
+    let mut best_vol = -1.0f64;
+    for (s, row) in w.iter().enumerate() {
+        for t in (s + 1)..row.len() {
+            let g1 = placement.gpu_for_subdomain[s];
+            let g2 = placement.gpu_for_subdomain[t];
+            if g1 == g2 || triad(g1) != triad(g2) {
+                continue;
+            }
+            let vol = row[t] + w[t][s];
+            if vol > best_vol {
+                best_vol = vol;
+                best = (g1.min(g2), g1.max(g2));
+            }
+        }
+    }
+    best
+}
+
+/// Run the degraded-triad scenario on one Summit node: build under a
+/// healthy node-aware placement, degrade the placement's busiest NVLink to
+/// `bandwidth_factor` × nominal mid-run, and respond per `mode`.
+///
+/// All three modes degrade the *same* physical link (the pair is chosen
+/// from the healthy placement, computed purely up front), so their
+/// steady-state times are directly comparable. Runs are deterministic:
+/// same inputs, bit-identical times.
+pub fn degraded_triad_run(
+    domain: [u64; 3],
+    ranks_per_node: usize,
+    bandwidth_factor: f64,
+    warmup_iters: usize,
+    measure_iters: usize,
+    mode: TriadMode,
+) -> TriadRun {
+    assert!(warmup_iters >= 1 && measure_iters >= 1);
+    let cfg = ExchangeConfig::new(1, ranks_per_node, 0).domain(domain);
+    let healthy = node_aware_placements(&cfg);
+    let part = Partition::new(domain, 1, 6);
+    let (a, b) = heaviest_triad_pair(&part, &healthy[0], cfg.radius, cfg.quantities);
+    let fault = FaultSchedule::degraded_triad(0, a, b, SimDuration::ZERO, bandwidth_factor);
+
+    let num_ranks = ranks_per_node;
+    let healthy_times: Arc<Mutex<Vec<Vec<f64>>>> =
+        Arc::new(Mutex::new(vec![Vec::new(); num_ranks]));
+    let degraded_times: Arc<Mutex<Vec<Vec<f64>>>> =
+        Arc::new(Mutex::new(vec![Vec::new(); num_ranks]));
+    let adapted_flag = Arc::new(Mutex::new(false));
+    let (ht, dt, af) = (
+        Arc::clone(&healthy_times),
+        Arc::clone(&degraded_times),
+        Arc::clone(&adapted_flag),
+    );
+
+    let mut world = WorldConfig::new(summit_cluster(1), ranks_per_node)
+        .data_mode(DataMode::Virtual)
+        .metrics(true);
+    if mode == TriadMode::FreshOptimal {
+        // The fault precedes the build, so the empirical probes measure the
+        // degraded substrate and placement is optimal *for it*.
+        world = world.faults(fault.clone());
+    }
+    let radius = cfg.radius;
+    let quantities = cfg.quantities;
+    let report = run_world(world, move |ctx| {
+        let mut builder = DomainBuilder::new(domain)
+            .radius(radius)
+            .quantities(quantities)
+            .neighborhood(Neighborhood::Full26)
+            .methods(Methods::all());
+        builder = match mode {
+            TriadMode::FreshOptimal => builder.placement(PlacementStrategy::Empirical),
+            _ => builder.preplaced(Arc::clone(&healthy)),
+        };
+        let mut dom = builder.build(ctx);
+        // One window per iteration; baseline = mean of the warmup windows.
+        // The exchange histogram averages every rank's critical path, so a
+        // fault on one link is diluted by the unaffected ranks — 1.25x of
+        // baseline is already a large, localized hit (and the simulation is
+        // deterministic, so healthy windows sit exactly on the baseline).
+        let mut monitor = HealthMonitor::new(1.25, warmup_iters);
+
+        let mut mine = Vec::with_capacity(warmup_iters);
+        for _ in 0..warmup_iters {
+            ctx.barrier();
+            let t0 = ctx.wtime();
+            dom.exchange(ctx);
+            mine.push(ctx.wtime() - t0);
+            // Barrier-synchronized checkpoint: every rank sees the same
+            // registry and reaches the same verdict.
+            ctx.barrier();
+            monitor.check(ctx);
+        }
+        ht.lock()[ctx.rank()] = mine;
+
+        if mode != TriadMode::FreshOptimal {
+            // Inject mid-run: one rank schedules the degradation at the
+            // current virtual time; the surrounding barriers make sure no
+            // rank races ahead of the installation.
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                let machine = ctx.machine().clone();
+                ctx.sim().with_kernel(|k| {
+                    let now = k.now();
+                    fault.install_at(k, &machine, now);
+                });
+            }
+            ctx.barrier();
+            // Detection phase: the monitor flags the slowdown and (in
+            // adapt mode) the domain re-places itself.
+            for _ in 0..2 {
+                ctx.barrier();
+                dom.exchange(ctx);
+                ctx.barrier();
+                let health = monitor.check(ctx);
+                if mode == TriadMode::Adapt {
+                    if let Health::Degraded { .. } = health {
+                        if dom.adapt_placement(ctx) {
+                            *af.lock() = true;
+                        }
+                        monitor.rebaseline();
+                    }
+                }
+            }
+        }
+
+        let mut mine = Vec::with_capacity(measure_iters);
+        for _ in 0..measure_iters {
+            ctx.barrier();
+            let t0 = ctx.wtime();
+            dom.exchange(ctx);
+            mine.push(ctx.wtime() - t0);
+        }
+        dt.lock()[ctx.rank()] = mine;
+    });
+
+    let mean_of = |per_rank: &[Vec<f64>], iters: usize| {
+        let per_iter: Vec<f64> = (0..iters)
+            .map(|i| per_rank.iter().map(|r| r[i]).fold(0.0f64, f64::max))
+            .collect();
+        per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64
+    };
+    let healthy_mean = mean_of(&healthy_times.lock(), warmup_iters);
+    let degraded_mean = mean_of(&degraded_times.lock(), measure_iters);
+    let adapted = *adapted_flag.lock();
+    TriadRun {
+        healthy_mean,
+        degraded_mean,
+        adapted,
+        metrics: report.metrics,
+    }
+}

@@ -7,15 +7,21 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod microbench;
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use faultsim::FaultSchedule;
 use gpusim::DataMode;
 use mpisim::{run_world, WorldConfig};
 use parking_lot::Mutex;
-use stencil_core::{DomainBuilder, Methods, Neighborhood, PlacementStrategy};
-use topo::summit::summit_cluster;
+use stencil_core::{
+    DomainBuilder, Methods, Neighborhood, Partition, Placement, PlacementStrategy, Radius,
+};
+use topo::summit::{summit_cluster, summit_node};
+use topo::NodeDiscovery;
 
 /// One benchmark configuration, encoded like the paper's labels
 /// ("Xn/Xr/Xg/NNNN/ca").
@@ -47,6 +53,14 @@ pub struct ExchangeConfig {
     /// Collect metrics during the run (virtual-time results are unaffected;
     /// the registry snapshot lands in [`ExchangeResult::metrics`]).
     pub metrics: bool,
+    /// Deterministic fault schedule installed before the ranks start. An
+    /// empty schedule injects zero events and leaves runs bit-identical to
+    /// a fault-free simulation.
+    pub faults: FaultSchedule,
+    /// Precomputed per-node placements (see [`node_aware_placements`]);
+    /// skips the per-run placement phase so sweeps that measure the same
+    /// geometry under several method tiers pay the QAP cost once.
+    pub preplaced: Option<Arc<Vec<Placement>>>,
 }
 
 impl ExchangeConfig {
@@ -66,6 +80,8 @@ impl ExchangeConfig {
             iters: 3,
             consolidate: false,
             metrics: false,
+            faults: FaultSchedule::new(),
+            preplaced: None,
         }
     }
 
@@ -108,6 +124,18 @@ impl ExchangeConfig {
     /// Enable metrics collection for this run.
     pub fn metrics(mut self, on: bool) -> Self {
         self.metrics = on;
+        self
+    }
+
+    /// Install a deterministic fault schedule for this run.
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = schedule;
+        self
+    }
+
+    /// Reuse precomputed placements, skipping the placement phase.
+    pub fn preplaced(mut self, placements: Arc<Vec<Placement>>) -> Self {
+        self.preplaced = Some(placements);
         self
     }
 
@@ -161,19 +189,24 @@ pub fn measure_exchange(cfg: &ExchangeConfig) -> ExchangeResult {
     let placement = cfg.placement;
     let iters = cfg.iters;
     let consolidate = cfg.consolidate;
+    let preplaced = cfg.preplaced.clone();
     let world = WorldConfig::new(summit_cluster(cfg.nodes), cfg.ranks_per_node)
         .cuda_aware(cuda_aware)
         .data_mode(DataMode::Virtual)
-        .metrics(cfg.metrics);
+        .metrics(cfg.metrics)
+        .faults(cfg.faults.clone());
     let report = run_world(world, move |ctx| {
-        let dom = DomainBuilder::new(domain)
+        let mut builder = DomainBuilder::new(domain)
             .radius(radius)
             .quantities(quantities)
             .neighborhood(Neighborhood::Full26)
             .methods(methods)
             .placement(placement)
-            .consolidate(consolidate)
-            .build(ctx);
+            .consolidate(consolidate);
+        if let Some(pre) = &preplaced {
+            builder = builder.preplaced(Arc::clone(pre));
+        }
+        let dom = builder.build(ctx);
         if ctx.rank() == 0 {
             *p2.lock() = dom.plan_summary().to_string();
         }
@@ -198,6 +231,54 @@ pub fn measure_exchange(cfg: &ExchangeConfig) -> ExchangeResult {
         plan,
         metrics: report.metrics,
     }
+}
+
+/// Compute the per-node placements a run of `cfg` would produce, without
+/// running a simulation. Mirrors the domain constructor's placement phase
+/// (hierarchical partition, one QAP solve per distinct node extent) so the
+/// result can be fed back via [`ExchangeConfig::preplaced`] to skip that
+/// phase. Placement depends only on geometry, radius, quantities and
+/// strategy — not on methods, CUDA-awareness or iteration count — so one
+/// computation serves every method tier of a sweep row.
+///
+/// Only topology-derived strategies are supported
+/// ([`PlacementStrategy::Empirical`] needs in-simulation probe transfers).
+pub fn node_aware_placements(cfg: &ExchangeConfig) -> Arc<Vec<Placement>> {
+    assert_ne!(
+        cfg.placement,
+        PlacementStrategy::Empirical,
+        "empirical placement probes inside the simulation and cannot be precomputed"
+    );
+    let domain = cfg.domain.unwrap_or([cfg.extent, cfg.extent, cfg.extent]);
+    let node = summit_node();
+    let gpn = node.num_gpus();
+    let part = Partition::new(domain, cfg.nodes, gpn);
+    let discovery = NodeDiscovery::discover(&node);
+    let radius = Radius::constant(cfg.radius);
+    let mut by_extent: HashMap<stencil_core::Dim3, Placement> = HashMap::new();
+    let mut placements = Vec::with_capacity(part.num_nodes());
+    for n in 0..part.num_nodes() {
+        let idx = part.node_from_linear(n);
+        let ext = part.node_box(idx).extent;
+        let pl = by_extent
+            .entry(ext)
+            .or_insert_with(|| {
+                stencil_core::placement::place(
+                    &part,
+                    idx,
+                    &discovery,
+                    Neighborhood::Full26,
+                    &radius,
+                    cfg.quantities,
+                    4,
+                    cfg.placement,
+                    stencil_core::dim3::Boundary::Periodic,
+                )
+            })
+            .clone();
+        placements.push(pl);
+    }
+    Arc::new(placements)
 }
 
 /// The paper's weak-scaling domain size rule (§IV-D): total volume close to

@@ -1,0 +1,57 @@
+//! Fault schedules are explicit event tables in virtual time — no RNG —
+//! so a faulted run is exactly as deterministic as a clean one.
+
+use detsim::SimDuration;
+use faultsim::FaultSchedule;
+use stencil_bench::{measure_exchange, ExchangeConfig};
+
+fn faulted_config() -> ExchangeConfig {
+    ExchangeConfig::new(2, 6, 472)
+        .iters(4)
+        .faults(FaultSchedule::cascading(
+            0,
+            0,
+            1,
+            2,
+            SimDuration::from_micros(100),
+            SimDuration::from_micros(300),
+        ))
+}
+
+#[test]
+fn faulted_runs_are_bit_identical_across_runs() {
+    let a = measure_exchange(&faulted_config());
+    let b = measure_exchange(&faulted_config());
+    let bits = |r: &stencil_bench::ExchangeResult| -> Vec<u64> {
+        r.per_iter.iter().map(|v| v.to_bits()).collect()
+    };
+    assert_eq!(
+        bits(&a),
+        bits(&b),
+        "identical fault schedules must give bit-identical virtual times"
+    );
+
+    // And the schedule actually does something: the same config without
+    // faults completes faster.
+    let clean = measure_exchange(&ExchangeConfig::new(2, 6, 472).iters(4));
+    assert!(
+        a.mean > clean.mean,
+        "cascading faults should slow the exchange: clean {:.3e} s vs faulted {:.3e} s",
+        clean.mean,
+        a.mean
+    );
+}
+
+#[test]
+fn metrics_do_not_perturb_faulted_virtual_times() {
+    let plain = measure_exchange(&faulted_config());
+    let metered = measure_exchange(&faulted_config().metrics(true));
+    let pb: Vec<u64> = plain.per_iter.iter().map(|v| v.to_bits()).collect();
+    let mb: Vec<u64> = metered.per_iter.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(pb, mb, "metrics-on faulted run diverged");
+    let report = metered.metrics.expect("metrics requested");
+    assert!(
+        report.to_json().contains("\"faultsim\""),
+        "fault transitions should be visible in the metrics artifact"
+    );
+}

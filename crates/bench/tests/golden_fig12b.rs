@@ -7,7 +7,8 @@
 //! scheduler / flow-network / event-queue change that shifts a virtual
 //! timestamp by even one picosecond fails this test.
 
-use stencil_bench::{measure_exchange, weak_scaling_extent, ExchangeConfig};
+use faultsim::FaultSchedule;
+use stencil_bench::{measure_exchange, node_aware_placements, weak_scaling_extent, ExchangeConfig};
 
 /// 16 nodes x 6 ranks, weak-scaling extent 750 per GPU.
 const NODES: usize = 16;
@@ -32,6 +33,34 @@ fn fig12b_16_node_virtual_times_match_golden_bits() {
     assert_eq!(
         bits, GOLDEN_PER_ITER_BITS,
         "virtual times diverged from golden values: got {:?} s",
+        r.per_iter
+    );
+}
+
+/// An explicitly-attached empty fault schedule installs zero events, so
+/// the run must be indistinguishable — to the bit — from a fault-free one.
+#[test]
+fn empty_fault_schedule_is_bit_identical_to_golden() {
+    let r = measure_exchange(&golden_config().faults(FaultSchedule::new()));
+    let bits: Vec<u64> = r.per_iter.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        bits, GOLDEN_PER_ITER_BITS,
+        "an empty fault schedule perturbed virtual time: got {:?} s",
+        r.per_iter
+    );
+}
+
+/// Feeding back precomputed placements (the sweep-caching path) must
+/// reproduce exactly what the in-run placement phase would have chosen.
+#[test]
+fn preplaced_placements_are_bit_identical_to_golden() {
+    let cfg = golden_config();
+    let pre = node_aware_placements(&cfg);
+    let r = measure_exchange(&cfg.preplaced(pre));
+    let bits: Vec<u64> = r.per_iter.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        bits, GOLDEN_PER_ITER_BITS,
+        "precomputed placements diverged from the in-run placement phase: got {:?} s",
         r.per_iter
     );
 }

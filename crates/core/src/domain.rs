@@ -37,6 +37,12 @@ pub struct DomainSpec {
     /// Consolidate multiple staged transfers sharing (source subdomain,
     /// destination rank) into single larger messages (paper §VI).
     pub consolidate: bool,
+    /// Precomputed per-node placements (one entry per node, linear order).
+    /// When set, phase 2 — including any empirical probing — is skipped
+    /// entirely; the placements must have been computed for an identical
+    /// partition. Lets sweeps that measure the same domain under several
+    /// method tiers pay the QAP/probe cost once (see `stencil-bench`).
+    pub preplaced: Option<std::sync::Arc<Vec<Placement>>>,
 }
 
 /// Fluent constructor for [`DistributedDomain`].
@@ -69,6 +75,7 @@ impl DomainBuilder {
             placement: PlacementStrategy::NodeAware,
             boundary: Boundary::Periodic,
             consolidate: false,
+            preplaced: None,
         })
     }
 
@@ -130,6 +137,15 @@ impl DomainBuilder {
         self
     }
 
+    /// Use precomputed per-node placements, skipping the placement phase
+    /// (QAP solves and, for [`PlacementStrategy::Empirical`], the probe
+    /// transfers). The placements must match the partition this spec
+    /// produces: one entry per node in linear order.
+    pub fn preplaced(mut self, placements: std::sync::Arc<Vec<Placement>>) -> Self {
+        self.0.preplaced = Some(placements);
+        self
+    }
+
     /// Collectively build the domain (all ranks must call with identical
     /// specs).
     pub fn build(self, ctx: &RankCtx) -> DistributedDomain {
@@ -168,48 +184,61 @@ impl DistributedDomain {
         // Phase 2: per-node placement. Deterministic and identical on every
         // rank (empirical probes measure identical matrices on homogeneous
         // nodes), so no global communication is needed; nodes with identical
-        // subdomain shapes share one QAP solve.
-        let measured_distance = (spec.placement == PlacementStrategy::Empirical).then(|| {
-            crate::empirical::distance_from_measured(&crate::empirical::measure_node_bandwidths(
-                ctx,
-                crate::empirical::DEFAULT_PROBE_BYTES,
-            ))
-        });
-        let discovery: &NodeDiscovery = machine.discovery();
-        let mut by_extent: HashMap<Dim3, Placement> = HashMap::new();
-        let mut placements = Vec::with_capacity(part.num_nodes());
-        for n in 0..part.num_nodes() {
-            let idx = part.node_from_linear(n);
-            let ext = part.node_box(idx).extent;
-            let pl = by_extent
-                .entry(ext)
-                .or_insert_with(|| match &measured_distance {
-                    Some(d) => crate::placement::place_with_distance(
-                        &part,
-                        idx,
-                        d,
-                        spec.neighborhood,
-                        &spec.radius,
-                        spec.quantities,
-                        spec.elem_size,
-                        false,
-                        spec.boundary,
+        // subdomain shapes share one QAP solve. Skipped entirely when the
+        // spec carries precomputed placements.
+        let placements = if let Some(pre) = &spec.preplaced {
+            assert_eq!(
+                pre.len(),
+                part.num_nodes(),
+                "preplaced placements must have one entry per node"
+            );
+            pre.as_ref().clone()
+        } else {
+            let measured_distance = (spec.placement == PlacementStrategy::Empirical).then(|| {
+                crate::empirical::distance_from_measured(
+                    &crate::empirical::measure_node_bandwidths(
+                        ctx,
+                        crate::empirical::DEFAULT_PROBE_BYTES,
                     ),
-                    None => place(
-                        &part,
-                        idx,
-                        discovery,
-                        spec.neighborhood,
-                        &spec.radius,
-                        spec.quantities,
-                        spec.elem_size,
-                        spec.placement,
-                        spec.boundary,
-                    ),
-                })
-                .clone();
-            placements.push(pl);
-        }
+                )
+            });
+            let discovery: &NodeDiscovery = machine.discovery();
+            let mut by_extent: HashMap<Dim3, Placement> = HashMap::new();
+            let mut placements = Vec::with_capacity(part.num_nodes());
+            for n in 0..part.num_nodes() {
+                let idx = part.node_from_linear(n);
+                let ext = part.node_box(idx).extent;
+                let pl = by_extent
+                    .entry(ext)
+                    .or_insert_with(|| match &measured_distance {
+                        Some(d) => crate::placement::place_with_distance(
+                            &part,
+                            idx,
+                            d,
+                            spec.neighborhood,
+                            &spec.radius,
+                            spec.quantities,
+                            spec.elem_size,
+                            false,
+                            spec.boundary,
+                        ),
+                        None => place(
+                            &part,
+                            idx,
+                            discovery,
+                            spec.neighborhood,
+                            &spec.radius,
+                            spec.quantities,
+                            spec.elem_size,
+                            spec.placement,
+                            spec.boundary,
+                        ),
+                    })
+                    .clone();
+                placements.push(pl);
+            }
+            placements
+        };
 
         // This rank's subdomains, one per GPU it controls.
         let node = ctx.node();

@@ -78,6 +78,7 @@ pub mod placement;
 pub mod qap;
 pub mod radius;
 pub mod region;
+mod resilience;
 mod stats;
 
 pub use dim3::{Box3, Dim3, Dir3, Idx3, Neighborhood};
@@ -88,4 +89,5 @@ pub use method::{select, Method, Methods, PairCaps};
 pub use partition::Partition;
 pub use placement::{Placement, PlacementStrategy};
 pub use radius::Radius;
+pub use resilience::{Health, HealthMonitor};
 pub use stats::PlanSummary;

@@ -1,0 +1,450 @@
+//! Degradation-aware resilience: detect that the substrate has drifted
+//! from what placement assumed, and re-place against reality.
+//!
+//! The paper's placement phase (QAP on exchange volume × link bandwidth)
+//! runs once at setup, but real heterogeneous machines degrade mid-run —
+//! links lose lanes, NICs flap, one GPU straggles. This module closes the
+//! loop:
+//!
+//! 1. A [`HealthMonitor`] reads the metrics registry's per-exchange timing
+//!    histogram at barrier-synchronized checkpoints and flags when the mean
+//!    exchange time exceeds its warm baseline by a threshold factor.
+//! 2. [`DistributedDomain::adapt_placement`] re-probes empirical
+//!    bandwidths (which now see the degradation, because the probes ride
+//!    the same links), all-gathers every node's measured matrix, re-solves
+//!    the QAP per node, migrates subdomain arrays between GPUs, and
+//!    rebuilds the specialized exchange plans.
+//!
+//! Both steps are collective and deterministic: every rank reads the same
+//! registry state after a barrier, computes identical placements from the
+//! same all-gathered matrices, and therefore takes the same branch —
+//! there is no coordinator and no races.
+
+use detsim::Completion;
+use gpusim::Buffer;
+use mpisim::{RankCtx, Request};
+
+use crate::domain::DistributedDomain;
+use crate::empirical::{distance_from_measured, measure_node_bandwidths, DEFAULT_PROBE_BYTES};
+use crate::exchange::build_plans;
+use crate::local::LocalDomain;
+use crate::placement::place_with_distance;
+
+/// Setup-channel tag for the adaptive re-placement all-gather (outside the
+/// exchange-plan tag space `sid * 32 + dir` and the probe broadcast tag
+/// `u64::MAX - 1`).
+const ADAPT_BW_TAG: u64 = u64::MAX - 2;
+
+/// Tag base for subdomain migration transfers; far above the plan tag
+/// space. One tag per (subdomain, quantity).
+const MIGRATE_TAG_BASE: u64 = 1 << 62;
+
+/// Verdict of one health checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Health {
+    /// No verdict: metrics are disabled, no exchanges ran since the last
+    /// checkpoint, or the baseline is still warming up.
+    Warmup,
+    /// Mean exchange time within `threshold` × baseline.
+    Ok {
+        /// Mean exchange time over the window just closed, picoseconds.
+        mean_ps: f64,
+        /// The warm baseline mean, picoseconds.
+        baseline_ps: f64,
+    },
+    /// Mean exchange time exceeded `threshold` × baseline.
+    Degraded {
+        /// Mean exchange time over the window just closed, picoseconds.
+        mean_ps: f64,
+        /// The warm baseline mean, picoseconds.
+        baseline_ps: f64,
+        /// `mean_ps / baseline_ps`.
+        ratio: f64,
+    },
+}
+
+/// Watches the `exchange/total_ps` histogram of the metrics registry and
+/// flags degradation relative to a warm baseline.
+///
+/// Usage: create one per rank after building the domain, run a few
+/// exchanges, and call [`HealthMonitor::check`] at a **barrier-synchronized
+/// point** (e.g. right after the iteration's collective exchange returns).
+/// Every rank then reads identical registry state and reaches the same
+/// verdict, so the verdict can safely gate the collective
+/// [`DistributedDomain::adapt_placement`]. Requires metrics to be enabled
+/// (`WorldConfig::metrics(true)`); with metrics off every check returns
+/// [`Health::Warmup`].
+#[derive(Debug)]
+pub struct HealthMonitor {
+    threshold: f64,
+    warmup_windows: usize,
+    /// Histogram position at the last checkpoint.
+    last_count: u64,
+    last_sum: f64,
+    /// Baseline accumulation (mean of the first `warmup_windows` windows).
+    warm_sum: f64,
+    warm_n: usize,
+    baseline_ps: Option<f64>,
+}
+
+impl HealthMonitor {
+    /// A monitor flagging windows whose mean exchange time exceeds
+    /// `threshold` × the baseline (e.g. `1.5` = 50% slower). The baseline
+    /// is the mean of the first `warmup_windows` non-empty windows.
+    pub fn new(threshold: f64, warmup_windows: usize) -> HealthMonitor {
+        assert!(threshold > 1.0, "threshold must exceed 1.0");
+        assert!(warmup_windows >= 1, "need at least one warmup window");
+        HealthMonitor {
+            threshold,
+            warmup_windows,
+            last_count: 0,
+            last_sum: 0.0,
+            warm_sum: 0.0,
+            warm_n: 0,
+            baseline_ps: None,
+        }
+    }
+
+    /// Close the window since the previous checkpoint and return a verdict.
+    /// Call at a barrier-synchronized point on every rank.
+    pub fn check(&mut self, ctx: &RankCtx) -> Health {
+        let Some((count, sum)) = ctx.sim().with_kernel(|k| {
+            k.metrics
+                .histogram("exchange", "total_ps", &[])
+                .map(|h| (h.count, h.sum))
+        }) else {
+            return Health::Warmup;
+        };
+        let dcount = count - self.last_count;
+        let dsum = sum - self.last_sum;
+        self.last_count = count;
+        self.last_sum = sum;
+        if dcount == 0 {
+            return Health::Warmup;
+        }
+        let mean_ps = dsum / dcount as f64;
+        match self.baseline_ps {
+            None => {
+                self.warm_sum += mean_ps;
+                self.warm_n += 1;
+                if self.warm_n >= self.warmup_windows {
+                    self.baseline_ps = Some(self.warm_sum / self.warm_n as f64);
+                }
+                Health::Warmup
+            }
+            Some(baseline_ps) => {
+                let ratio = mean_ps / baseline_ps;
+                if ratio > self.threshold {
+                    Health::Degraded {
+                        mean_ps,
+                        baseline_ps,
+                        ratio,
+                    }
+                } else {
+                    Health::Ok {
+                        mean_ps,
+                        baseline_ps,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Discard the baseline and re-warm. Call after an adaptation: the
+    /// post-migration exchange time is a new normal, and comparing it
+    /// against the pre-fault baseline would re-flag a healthy system.
+    pub fn rebaseline(&mut self) {
+        self.warm_sum = 0.0;
+        self.warm_n = 0;
+        self.baseline_ps = None;
+    }
+
+    /// The warm baseline mean in picoseconds, once established.
+    pub fn baseline_ps(&self) -> Option<f64> {
+        self.baseline_ps
+    }
+}
+
+impl DistributedDomain {
+    /// Adaptive re-placement (collective): re-probe empirical bandwidths,
+    /// re-solve the per-node QAP against the measured (possibly degraded)
+    /// matrices, migrate subdomain arrays onto their new GPUs, and rebuild
+    /// the exchange plans. Returns `true` if the placement changed and the
+    /// domain was rebuilt, `false` if the measured substrate still prefers
+    /// the current placement (no migration, no plan rebuild).
+    ///
+    /// Every rank must call this at the same point (it is as collective as
+    /// the constructor); gate it on a [`HealthMonitor`] verdict from a
+    /// barrier-synchronized checkpoint so all ranks agree to enter.
+    ///
+    /// Unlike the constructor's homogeneity shortcut (each rank probes only
+    /// its own node), the measured matrices are all-gathered so that under
+    /// *localized* degradation every rank still computes identical
+    /// placements for every node.
+    pub fn adapt_placement(&mut self, ctx: &RankCtx) -> bool {
+        let machine = ctx.machine().clone();
+        let rpn = ctx.ranks_per_node();
+        let gpr = machine.gpus_per_node() / rpn;
+        let node = ctx.node();
+        let my_rank = ctx.rank();
+
+        // Probe under current conditions: the probe copies ride the same
+        // (degraded) links a halo exchange would.
+        let bw = measure_node_bandwidths(ctx, DEFAULT_PROBE_BYTES);
+        let d = distance_from_measured(&bw);
+        let all: Vec<Vec<Vec<f64>>> = ctx.all_gather_obj(ADAPT_BW_TAG, d);
+
+        // Re-solve the QAP per node against its own measured matrix. Inputs
+        // are identical on every rank, so the solves are too.
+        let mut new_placements = Vec::with_capacity(self.part.num_nodes());
+        for n in 0..self.part.num_nodes() {
+            let idx = self.part.node_from_linear(n);
+            new_placements.push(place_with_distance(
+                &self.part,
+                idx,
+                &all[n * rpn],
+                self.spec.neighborhood,
+                &self.spec.radius,
+                self.spec.quantities,
+                self.spec.elem_size,
+                false,
+                self.spec.boundary,
+            ));
+        }
+
+        // Compare assignments, not costs: the cost is measured against the
+        // new matrix and differs even when the assignment is unchanged.
+        if new_placements
+            .iter()
+            .zip(&self.placements)
+            .all(|(a, b)| a.gpu_for_subdomain == b.gpu_for_subdomain)
+        {
+            return false; // same verdict on every rank: nothing to do
+        }
+
+        // ---- migrate subdomain arrays to their new GPUs -------------------
+        // Placement is per-node, so migrations never cross nodes; they may
+        // cross ranks within a node. Protocol: post all receives first,
+        // then stage-and-send departures, then intra-rank copies, then
+        // drain — deadlock-free because receives are posted before any
+        // blocking operation.
+        let node_idx = self.part.node_from_linear(node);
+        let quantities = self.spec.quantities;
+        let my_devices = ctx.gpus();
+        let mut old_locals: Vec<Option<LocalDomain>> = std::mem::take(&mut self.locals)
+            .into_iter()
+            .map(Some)
+            .collect();
+
+        // New local set, one per owned device, reusing LocalDomains whose
+        // device keeps its subdomain.
+        let mut new_locals: Vec<LocalDomain> = Vec::with_capacity(my_devices.len());
+        // (new_local index, subdomain, old device, source rank)
+        let mut arrivals: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for (i, &device) in my_devices.iter().enumerate() {
+            let local_gpu = machine.local_of(device);
+            let s = new_placements[node].subdomain_for_gpu[local_gpu];
+            let old_gpu = self.placements[node].gpu_for_subdomain[s];
+            let old_device = machine.device_at(node, old_gpu);
+            if old_device == device {
+                let j = old_locals
+                    .iter()
+                    .position(|l| l.as_ref().is_some_and(|l| l.device == device))
+                    .expect("device owned a subdomain before adaptation");
+                new_locals.push(old_locals[j].take().expect("just located"));
+                continue;
+            }
+            let gpu_idx = self.part.gpu_from_linear(s);
+            let interior = self.part.gpu_box(node_idx, gpu_idx);
+            let local = ctx
+                .sim()
+                .with_kernel(|k| {
+                    LocalDomain::new(
+                        &machine,
+                        k,
+                        node_idx,
+                        gpu_idx,
+                        interior,
+                        device,
+                        quantities,
+                        self.spec.elem_size,
+                        self.spec.radius,
+                    )
+                })
+                .unwrap_or_else(|e| panic!("allocating migrated subdomain: {e}"));
+            arrivals.push((i, s, old_device, node * rpn + old_gpu / gpr));
+            new_locals.push(local);
+        }
+
+        let socket_of = |device: usize| {
+            machine
+                .fabric()
+                .node_spec()
+                .gpu_socket(machine.local_of(device))
+        };
+
+        // Post receives for subdomains arriving from other ranks.
+        let mut recv_stage: Vec<(usize, usize, Buffer, Request)> = Vec::new(); // (new idx, q, host, req)
+        for &(i, s, _, src_rank) in &arrivals {
+            if src_rank == my_rank {
+                continue;
+            }
+            for q in 0..quantities {
+                let len = new_locals[i].arrays[q].len();
+                let host = machine.alloc_host_untimed(node, socket_of(my_devices[i]), len);
+                let tag = MIGRATE_TAG_BASE + (s as u64) * quantities as u64 + q as u64;
+                let req = ctx.irecv(&host, 0, len, src_rank, tag);
+                recv_stage.push((i, q, host, req));
+            }
+        }
+
+        // Stage and send departures to other ranks (D2H, then isend).
+        let mut send_reqs: Vec<Request> = Vec::new();
+        let mut send_stage: Vec<Buffer> = Vec::new(); // keep host bufs alive
+        for old in old_locals.iter().flatten() {
+            let s = self.part.gpu_linear(old.gpu_idx);
+            let new_gpu = new_placements[node].gpu_for_subdomain[s];
+            let dst_rank = node * rpn + new_gpu / gpr;
+            if dst_rank == my_rank {
+                continue; // handled as an intra-rank copy below
+            }
+            for q in 0..quantities {
+                let len = old.arrays[q].len();
+                let host = machine.alloc_host_untimed(node, socket_of(old.device), len);
+                let c = machine.memcpy_async(
+                    ctx.sim(),
+                    old.compute_stream,
+                    &host,
+                    0,
+                    &old.arrays[q],
+                    0,
+                    len,
+                );
+                ctx.sim().wait(&c);
+                let tag = MIGRATE_TAG_BASE + (s as u64) * quantities as u64 + q as u64;
+                send_reqs.push(ctx.isend(&host, 0, len, dst_rank, tag));
+                send_stage.push(host);
+            }
+        }
+
+        // Intra-rank moves: peer copy when the fabric allows it, otherwise
+        // bounce through the source socket's host memory.
+        let mut copies: Vec<Completion> = Vec::new();
+        for &(i, _, old_device, src_rank) in &arrivals {
+            if src_rank != my_rank {
+                continue;
+            }
+            let j = old_locals
+                .iter()
+                .position(|l| l.as_ref().is_some_and(|l| l.device == old_device))
+                .expect("intra-rank source subdomain present");
+            let old = old_locals[j].as_ref().expect("just located");
+            let dst = &new_locals[i];
+            for q in 0..quantities {
+                let len = old.arrays[q].len();
+                if machine.can_access_peer(old_device, dst.device) {
+                    machine
+                        .enable_peer_access(old_device, dst.device)
+                        .expect("peer capability checked");
+                    copies.push(machine.memcpy_async(
+                        ctx.sim(),
+                        old.compute_stream,
+                        &dst.arrays[q],
+                        0,
+                        &old.arrays[q],
+                        0,
+                        len,
+                    ));
+                } else {
+                    let host = machine.alloc_host_untimed(node, socket_of(old_device), len);
+                    let c = machine.memcpy_async(
+                        ctx.sim(),
+                        old.compute_stream,
+                        &host,
+                        0,
+                        &old.arrays[q],
+                        0,
+                        len,
+                    );
+                    ctx.sim().wait(&c);
+                    copies.push(machine.memcpy_async(
+                        ctx.sim(),
+                        dst.compute_stream,
+                        &dst.arrays[q],
+                        0,
+                        &host,
+                        0,
+                        len,
+                    ));
+                    send_stage.push(host);
+                }
+            }
+        }
+
+        // Drain: sends, receives, then unstage received data to the device.
+        ctx.wait_all(&send_reqs);
+        let mut unstage: Vec<Completion> = Vec::new();
+        for (i, q, host, req) in recv_stage {
+            ctx.wait(&req);
+            let dst = &new_locals[i];
+            let len = dst.arrays[q].len();
+            unstage.push(machine.memcpy_async(
+                ctx.sim(),
+                dst.compute_stream,
+                &dst.arrays[q],
+                0,
+                &host,
+                0,
+                len,
+            ));
+            send_stage.push(host);
+        }
+        for c in copies.iter().chain(unstage.iter()) {
+            ctx.sim().wait(c);
+        }
+        drop(send_stage); // host staging released (host memory is untracked)
+
+        // Free device arrays of subdomains that left their old device.
+        for old in old_locals.into_iter().flatten() {
+            for a in &old.arrays {
+                machine.free_device(a);
+            }
+        }
+
+        // Release the old plans' device staging before the rebuild
+        // allocates the new ones. `remote_buf` is the colocated *receiver's*
+        // buffer, IPC-opened at setup — the receiver frees it as its own
+        // `recv_dev_buf`; freeing it here too would double-free.
+        for sp in std::mem::take(&mut self.send_plans) {
+            if let Some(b) = &sp.pack_buf {
+                machine.free_device(b);
+            }
+        }
+        for rp in std::mem::take(&mut self.recv_plans) {
+            if let Some(b) = &rp.recv_dev_buf {
+                machine.free_device(b);
+            }
+        }
+        for gp in std::mem::take(&mut self.grouped_send_plans) {
+            machine.free_device(&gp.pack_buf);
+        }
+        for gp in std::mem::take(&mut self.grouped_recv_plans) {
+            for seg in &gp.segments {
+                if let Some(b) = &seg.dev_buf {
+                    machine.free_device(b);
+                }
+            }
+        }
+
+        self.placements = new_placements;
+        self.locals = new_locals;
+        let (send_plans, recv_plans, grouped_send_plans, grouped_recv_plans, summary) =
+            build_plans(ctx, &self.part, &self.placements, &self.locals, &self.spec);
+        self.send_plans = send_plans;
+        self.recv_plans = recv_plans;
+        self.grouped_send_plans = grouped_send_plans;
+        self.grouped_recv_plans = grouped_recv_plans;
+        self.summary = summary;
+        true
+    }
+}

@@ -226,6 +226,61 @@ impl Kernel {
         self.flows.links[link.0].capacity
     }
 
+    /// Change a link's capacity (bytes/second) mid-run — the degradation /
+    /// repair hook used by fault injection.
+    ///
+    /// The link's utilization integral is settled at the *old* capacity
+    /// first, then every flow currently crossing the link is re-settled at
+    /// its old rate, re-rated against the new fair share, and has its
+    /// completion re-projected — the same machinery a membership change
+    /// uses, so the conservation invariants (busy-byte integral tracks
+    /// delivered bytes, utilization ≤ 1) hold across the change. Flows not
+    /// on this link are untouched: a flow's rate is the min of its links'
+    /// shares, and only this link's share moved.
+    ///
+    /// Setting the current capacity is a no-op (no settlement, no events),
+    /// so an installed-but-never-firing schedule keeps runs bit-identical.
+    pub fn set_link_capacity(&mut self, link: LinkId, capacity_bps: f64) {
+        assert!(
+            capacity_bps > 0.0 && capacity_bps.is_finite(),
+            "link capacity must be positive and finite"
+        );
+        if self.flows.links[link.0].capacity == capacity_bps {
+            return;
+        }
+        let now = self.now();
+        let mut affected = std::mem::take(&mut self.flows.scratch);
+        {
+            let l = &mut self.flows.links[link.0];
+            // Flush the utilization integral while `capacity` still holds
+            // the value the elapsed interval ran under.
+            settle_link(l, &mut self.metrics, now, 0.0);
+            l.capacity = capacity_bps;
+            l.share = if l.entries.is_empty() {
+                capacity_bps
+            } else {
+                capacity_bps / l.entries.len() as f64
+            };
+            affected.extend(l.entries.iter().map(|e| e.0));
+        }
+        self.reshare(&mut affected);
+        affected.clear();
+        self.flows.scratch = affected;
+    }
+
+    /// Change a link's one-way latency. Latency is charged once, up front,
+    /// when a flow starts ([`Kernel::start_flow`]), so the new value applies
+    /// only to flows started after this call; in-flight flows keep the
+    /// latency they already paid.
+    pub fn set_link_latency(&mut self, link: LinkId, latency: SimDuration) {
+        self.flows.links[link.0].latency = latency;
+    }
+
+    /// One-way latency of a link.
+    pub fn link_latency(&self, link: LinkId) -> SimDuration {
+        self.flows.links[link.0].latency
+    }
+
     /// Human-readable link name.
     pub fn link_name(&self, link: LinkId) -> &str {
         &self.flows.links[link.0].name
@@ -630,6 +685,136 @@ mod tests {
         assert_eq!(total.load(Ordering::SeqCst), expected);
         assert_eq!(k.link_delivered(l), expected);
         assert_eq!(k.active_flows(), 0);
+    }
+
+    #[test]
+    fn capacity_cut_mid_flow_slows_completion() {
+        let mut k = Kernel::new();
+        let l = k.add_link("l", 100.0, SimDuration::ZERO);
+        let (done, cb) = make_done(&mut k);
+        k.start_flow(&[l], 100, cb);
+        // At t=0.5 the flow has 50 B left; cut to 25 B/s -> 2 more seconds.
+        k.schedule_in(SimDuration::from_secs_f64(0.5), move |k| {
+            k.set_link_capacity(l, 25.0);
+        });
+        let t = finish_time(&mut k, &done);
+        assert!((t - 2.5).abs() < 1e-9, "expected 2.5s, got {t}");
+        assert_eq!(k.link_capacity(l), 25.0);
+    }
+
+    #[test]
+    fn capacity_restore_speeds_completion_back_up() {
+        let mut k = Kernel::new();
+        let l = k.add_link("l", 100.0, SimDuration::ZERO);
+        let (done, cb) = make_done(&mut k);
+        k.start_flow(&[l], 200, cb);
+        // 0..0.5s at 100 B/s (50 B), 0.5..1.5s at 50 B/s (50 B), then back
+        // to 100 B/s for the last 100 B -> finish at t=2.5.
+        k.schedule_in(SimDuration::from_secs_f64(0.5), move |k| {
+            k.set_link_capacity(l, 50.0);
+        });
+        k.schedule_in(SimDuration::from_secs_f64(1.5), move |k| {
+            k.set_link_capacity(l, 100.0);
+        });
+        let t = finish_time(&mut k, &done);
+        assert!((t - 2.5).abs() < 1e-9, "expected 2.5s, got {t}");
+    }
+
+    #[test]
+    fn capacity_change_affects_only_flows_on_the_link() {
+        let mut k = Kernel::new();
+        let a = k.add_link("a", 100.0, SimDuration::ZERO);
+        let b = k.add_link("b", 100.0, SimDuration::ZERO);
+        let (done_a, cb_a) = make_done(&mut k);
+        let (done_b, cb_b) = make_done(&mut k);
+        k.start_flow(&[a], 100, cb_a);
+        k.start_flow(&[b], 100, cb_b);
+        k.schedule_in(SimDuration::from_secs_f64(0.5), move |k| {
+            k.set_link_capacity(a, 10.0);
+        });
+        k.run_to_completion();
+        let ta = done_a.load(Ordering::SeqCst) as f64 / PS_PER_SEC as f64;
+        let tb = done_b.load(Ordering::SeqCst) as f64 / PS_PER_SEC as f64;
+        // a: 50 B at 100 B/s then 50 B at 10 B/s -> 5.5s; b untouched.
+        assert!((ta - 5.5).abs() < 1e-6, "ta={ta}");
+        assert!((tb - 1.0).abs() < 1e-9, "tb={tb}");
+    }
+
+    #[test]
+    fn capacity_change_conserves_bytes_and_utilization() {
+        let mut k = Kernel::new();
+        let l = k.add_link("l", 1e9, SimDuration::from_micros(1));
+        let mut expected = 0u64;
+        for i in 1..=32u64 {
+            let bytes = i * 10_000;
+            expected += bytes;
+            k.schedule_in(SimDuration::from_nanos(i * 300), move |k| {
+                k.start_flow(&[l], bytes, |_| {});
+            });
+        }
+        // Degrade and restore while the flows are in flight.
+        k.schedule_in(SimDuration::from_micros(20), move |k| {
+            k.set_link_capacity(l, 2e8);
+        });
+        k.schedule_in(SimDuration::from_micros(400), move |k| {
+            k.set_link_capacity(l, 1e9);
+        });
+        k.run_to_completion();
+        assert_eq!(k.link_delivered(l), expected);
+        assert_eq!(k.active_flows(), 0);
+        let busy = k.link_busy_bytes(l);
+        let delivered = expected as f64;
+        assert!(
+            (busy - delivered).abs() < delivered * 1e-6,
+            "busy-byte integral {busy} diverged from delivered {delivered}"
+        );
+        let peak = k.link_peak_utilization(l);
+        assert!(peak <= 1.0 + 1e-9, "peak utilization {peak} > 1");
+    }
+
+    #[test]
+    fn setting_same_capacity_is_bit_identical_noop() {
+        let run = |touch: bool| {
+            let mut k = Kernel::new();
+            let l = k.add_link("l", 12.5e9, SimDuration::from_nanos(500));
+            let (done, cb) = make_done(&mut k);
+            k.start_flow(&[l], 1_000_000, cb);
+            k.start_flow(&[l], 777_777, |_| {});
+            if touch {
+                k.schedule_in(SimDuration::from_micros(10), move |k| {
+                    k.set_link_capacity(l, 12.5e9);
+                });
+            }
+            k.run_to_completion();
+            done.load(Ordering::SeqCst)
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "no-op capacity set perturbed completion time"
+        );
+    }
+
+    #[test]
+    fn latency_change_applies_to_new_flows_only() {
+        let mut k = Kernel::new();
+        let l = k.add_link("l", 100.0, SimDuration::from_secs_f64(0.25));
+        let (done, cb) = make_done(&mut k);
+        // In-flight flow keeps the latency it paid at start.
+        k.start_flow(&[l], 100, cb);
+        k.schedule_in(SimDuration::from_secs_f64(0.1), move |k| {
+            k.set_link_latency(l, SimDuration::from_secs_f64(1.0));
+        });
+        let (done2, cb2) = make_done(&mut k);
+        k.schedule_in(SimDuration::from_secs_f64(2.0), move |k| {
+            assert_eq!(k.link_latency(l), SimDuration::from_secs_f64(1.0));
+            k.start_flow(&[l], 100, cb2);
+        });
+        k.run_to_completion();
+        let t1 = done.load(Ordering::SeqCst) as f64 / PS_PER_SEC as f64;
+        let t2 = done2.load(Ordering::SeqCst) as f64 / PS_PER_SEC as f64;
+        assert!((t1 - 1.25).abs() < 1e-9, "t1={t1}");
+        assert!((t2 - 4.0).abs() < 1e-9, "t2={t2}");
     }
 
     #[test]

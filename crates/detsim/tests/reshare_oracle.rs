@@ -55,6 +55,41 @@ impl Lcg {
     }
 }
 
+/// A mid-run link-capacity change (the fault-injection path).
+#[derive(Clone)]
+struct CapEvent {
+    at_ps: u64,
+    link: usize,
+    capacity: f64, // bytes/sec, absolute
+}
+
+/// Deterministic capacity churn overlapping the flow waves: degradations,
+/// restorations, and upgrades land while flows are in flight, so the
+/// kernel's `set_link_capacity` re-settle/re-share path runs against live
+/// traffic.
+fn capacity_churn(seed: u64, links: &[LinkSpec]) -> Vec<CapEvent> {
+    let mut rng = Lcg(seed ^ 0xC0FFEE);
+    let factors = [0.1, 0.25, 0.5, 1.0, 2.0];
+    let mut evs = Vec::new();
+    for wave in 0..3u64 {
+        let wave_start = wave * 8 * PS_PER_SEC / 1000;
+        for _ in 0..10 {
+            // Spread across the wave's whole active period (arrivals over
+            // 0.2 ms, drain over a few ms).
+            let at_ps = wave_start + rng.below(2_500_000_000);
+            let link = rng.below(links.len() as u64) as usize;
+            let f = factors[rng.below(factors.len() as u64) as usize];
+            evs.push(CapEvent {
+                at_ps,
+                link,
+                capacity: links[link].capacity * f,
+            });
+        }
+    }
+    evs.sort_by_key(|a| (a.at_ps, a.link));
+    evs
+}
+
 fn churn_table(seed: u64, links: &[LinkSpec]) -> Vec<FlowSpec> {
     let mut rng = Lcg(seed);
     let mut flows = Vec::new();
@@ -84,9 +119,15 @@ fn churn_table(seed: u64, links: &[LinkSpec]) -> Vec<FlowSpec> {
     flows
 }
 
-/// Run the churn table through the real kernel; returns per-flow completion
-/// times (ps) and per-link delivered bytes.
-fn run_kernel(links: &[LinkSpec], flows: &[FlowSpec], metrics: bool) -> (Vec<u64>, Vec<u64>) {
+/// Run the churn table (plus any capacity-change events) through the real
+/// kernel; returns per-flow completion times (ps) and per-link delivered
+/// bytes.
+fn run_kernel(
+    links: &[LinkSpec],
+    flows: &[FlowSpec],
+    caps: &[CapEvent],
+    metrics: bool,
+) -> (Vec<u64>, Vec<u64>) {
     let mut k = Kernel::new();
     if metrics {
         k.metrics.enable();
@@ -113,6 +154,13 @@ fn run_kernel(links: &[LinkSpec], flows: &[FlowSpec], metrics: bool) -> (Vec<u64
             });
         });
     }
+    for c in caps {
+        let link = ids[c.link];
+        let capacity = c.capacity;
+        k.schedule_in(SimDuration::from_picos(c.at_ps), move |k| {
+            k.set_link_capacity(link, capacity);
+        });
+    }
     k.run_to_completion();
     assert_eq!(k.active_flows(), 0, "flows left in the network");
     let mut times = vec![0u64; flows.len()];
@@ -133,9 +181,10 @@ struct OracleFlow {
 }
 
 /// Naive reference: settle every active flow and recompute every rate from
-/// scratch at every membership change.
-fn run_oracle(links: &[LinkSpec], flows: &[FlowSpec]) -> (Vec<u64>, Vec<u64>) {
-    // Arrival = start + full path latency, as the kernel charges it.
+/// scratch at every membership *or capacity* change.
+fn run_oracle(links: &[LinkSpec], flows: &[FlowSpec], caps: &[CapEvent]) -> (Vec<u64>, Vec<u64>) {
+    let mut links = links.to_vec(); // capacities mutate under churn
+                                    // Arrival = start + full path latency, as the kernel charges it.
     let mut arrivals: Vec<(u64, usize)> = flows
         .iter()
         .enumerate()
@@ -146,6 +195,7 @@ fn run_oracle(links: &[LinkSpec], flows: &[FlowSpec]) -> (Vec<u64>, Vec<u64>) {
         .collect();
     arrivals.sort(); // by (time, flow index)
     let mut next_arrival = 0usize;
+    let mut next_cap = 0usize;
     let mut active: Vec<OracleFlow> = Vec::new();
     let mut times = vec![0u64; flows.len()];
     let mut delivered = vec![0u64; links.len()];
@@ -180,12 +230,13 @@ fn run_oracle(links: &[LinkSpec], flows: &[FlowSpec]) -> (Vec<u64>, Vec<u64>) {
             .map(|f| now_ps + SimDuration::from_secs_f64(f.remaining / f.rate).picos())
             .min();
         let arr = arrivals.get(next_arrival).map(|&(t, _)| t);
-        let t = match (fin, arr) {
-            (Some(f), Some(a)) => f.min(a),
-            (Some(f), None) => f,
-            (None, Some(a)) => a,
-            (None, None) => unreachable!(),
-        };
+        // Capacity changes with nothing left to re-rate are irrelevant.
+        let chg = caps.get(next_cap).map(|c| c.at_ps);
+        let t = [fin, arr, chg]
+            .into_iter()
+            .flatten()
+            .min()
+            .expect("loop invariant: an arrival or an active flow exists");
         settle(&mut active, now_ps, t);
         now_ps = t;
         // Completions strictly before new arrivals join (the kernel's
@@ -216,7 +267,14 @@ fn run_oracle(links: &[LinkSpec], flows: &[FlowSpec]) -> (Vec<u64>, Vec<u64>) {
                 rate: 0.0,
             });
         }
-        recompute(&mut active, links);
+        // Capacity changes at this instant take effect for the *next*
+        // interval — same semantics as the kernel's settle-then-change.
+        while caps.get(next_cap).map(|c| c.at_ps) == Some(now_ps) {
+            let c = &caps[next_cap];
+            next_cap += 1;
+            links[c.link].capacity = c.capacity;
+        }
+        recompute(&mut active, &links);
     }
     (times, delivered)
 }
@@ -255,8 +313,8 @@ fn incremental_reshare_matches_naive_oracle() {
     let links = links_under_test();
     for seed in [7, 42, 20260806] {
         let flows = churn_table(seed, &links);
-        let (kernel_times, kernel_delivered) = run_kernel(&links, &flows, false);
-        let (oracle_times, oracle_delivered) = run_oracle(&links, &flows);
+        let (kernel_times, kernel_delivered) = run_kernel(&links, &flows, &[], false);
+        let (oracle_times, oracle_delivered) = run_oracle(&links, &flows, &[]);
         for (idx, (&kt, &ot)) in kernel_times.iter().zip(&oracle_times).enumerate() {
             let diff = kt as i64 - ot as i64;
             assert!(
@@ -271,12 +329,45 @@ fn incremental_reshare_matches_naive_oracle() {
     }
 }
 
+/// `set_link_capacity` mid-flight must re-settle and re-rate exactly like
+/// the recompute-everything oracle: degradations, restorations, and
+/// upgrades land while waves of flows are active.
+#[test]
+fn capacity_churn_matches_naive_oracle() {
+    let links = links_under_test();
+    for seed in [7, 42, 20260806] {
+        let flows = churn_table(seed, &links);
+        let caps = capacity_churn(seed, &links);
+        assert!(!caps.is_empty());
+        let (kernel_times, kernel_delivered) = run_kernel(&links, &flows, &caps, false);
+        let (oracle_times, oracle_delivered) = run_oracle(&links, &flows, &caps);
+        for (idx, (&kt, &ot)) in kernel_times.iter().zip(&oracle_times).enumerate() {
+            let diff = kt as i64 - ot as i64;
+            assert!(
+                diff.abs() <= TOL_PS,
+                "seed {seed} flow {idx}: kernel {kt} ps vs oracle {ot} ps (diff {diff} ps)"
+            );
+        }
+        assert_eq!(
+            kernel_delivered, oracle_delivered,
+            "seed {seed}: delivered-byte accounting diverged under capacity churn"
+        );
+        // Same churn twice -> bit-identical, metrics on or off.
+        let again = run_kernel(&links, &flows, &caps, true);
+        assert_eq!(
+            kernel_times, again.0,
+            "capacity churn must be deterministic"
+        );
+        assert_eq!(kernel_delivered, again.1);
+    }
+}
+
 #[test]
 fn churn_with_slot_reuse_is_deterministic_and_drops_stale_events() {
     let links = links_under_test();
     let flows = churn_table(99, &links);
-    let (a, da) = run_kernel(&links, &flows, false);
-    let (b, db) = run_kernel(&links, &flows, false);
+    let (a, da) = run_kernel(&links, &flows, &[], false);
+    let (b, db) = run_kernel(&links, &flows, &[], false);
     assert_eq!(a, b, "identical churn must give bit-identical times");
     assert_eq!(da, db);
 
@@ -311,8 +402,8 @@ fn churn_with_slot_reuse_is_deterministic_and_drops_stale_events() {
 fn metrics_collection_does_not_change_flow_times() {
     let links = links_under_test();
     let flows = churn_table(7, &links);
-    let (plain, d1) = run_kernel(&links, &flows, false);
-    let (metered, d2) = run_kernel(&links, &flows, true);
+    let (plain, d1) = run_kernel(&links, &flows, &[], false);
+    let (metered, d2) = run_kernel(&links, &flows, &[], true);
     assert_eq!(plain, metered, "metrics perturbed virtual completion times");
     assert_eq!(d1, d2);
 }

@@ -146,8 +146,26 @@ impl GpuMachine {
         self.inner.mode
     }
 
-    pub(crate) fn engine_link(&self, device: usize) -> LinkId {
+    /// Flow link modeling `device`'s kernel/memory engine. Kernels, packs,
+    /// and same-device copies ride this link, so scaling its capacity (see
+    /// [`GpuMachine::set_device_speed_factor`]) models a straggler device.
+    pub fn engine_link(&self, device: usize) -> LinkId {
         self.inner.devices[device].engine
+    }
+
+    /// Scale a device's engine throughput to `factor` x its configured
+    /// [`GpuCostModel::pack_bandwidth`] — the fault-injection hook for
+    /// straggler GPUs. `factor` must be positive and finite; `1.0` restores
+    /// nominal speed. In-flight work on the engine is re-rated by the flow
+    /// network. The engine link's capacity is absolute, so repeated calls
+    /// do not compound.
+    pub fn set_device_speed_factor(&self, kernel: &mut Kernel, device: usize, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "device speed factor must be positive and finite"
+        );
+        let engine = self.inner.devices[device].engine;
+        kernel.set_link_capacity(engine, self.inner.cfg.pack_bandwidth * factor);
     }
 
     // ----- memory management ---------------------------------------------

@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use detsim::{Program, Sim, SimDuration};
+use faultsim::FaultSchedule;
 use gpusim::{DataMode, GpuCostModel, GpuMachine};
 use topo::ClusterSpec;
 
@@ -30,6 +31,10 @@ pub struct WorldConfig {
     pub trace: bool,
     /// Record metrics (counters, gauges, histograms across every layer).
     pub metrics: bool,
+    /// Deterministic fault schedule installed at virtual time zero. The
+    /// default (empty) schedule registers no events, leaving the run
+    /// bit-identical to one without fault injection.
+    pub faults: FaultSchedule,
 }
 
 impl WorldConfig {
@@ -44,6 +49,7 @@ impl WorldConfig {
             cuda_aware: false,
             trace: false,
             metrics: false,
+            faults: FaultSchedule::new(),
         }
     }
 
@@ -70,6 +76,13 @@ impl WorldConfig {
     /// [`WorldReport::metrics`].
     pub fn metrics(mut self, on: bool) -> Self {
         self.metrics = on;
+        self
+    }
+
+    /// Install a deterministic fault schedule (see [`faultsim`]). Event
+    /// offsets are measured from virtual time zero.
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = schedule;
         self
     }
 
@@ -135,6 +148,7 @@ where
             config.gpu_cost.clone(),
             config.data_mode,
         );
+        config.faults.install(k, &machine);
         MpiState::new(
             k,
             machine,
@@ -481,6 +495,44 @@ mod tests {
         assert!(rep.trace_json.unwrap().contains("MPI shm"));
         assert!(rep.elapsed.picos() > 0);
         assert!(rep.executed_events > 0);
+    }
+
+    #[test]
+    fn nic_flap_stalls_and_resumes_internode_transfer() {
+        use faultsim::FaultSchedule;
+        let xfer = |faults: FaultSchedule| {
+            run_world(cfg(2, 1).faults(faults), move |ctx| {
+                let m = ctx.machine();
+                let bytes = 25_000_000u64; // 1 ms at 25 GB/s injection
+                if ctx.rank() == 0 {
+                    let buf = m.alloc_host_untimed(0, 0, bytes);
+                    ctx.send(&buf, 0, bytes, 1, 0);
+                } else {
+                    let buf = m.alloc_host_untimed(1, 0, bytes);
+                    ctx.recv(&buf, 0, bytes, 0, 0);
+                }
+            })
+            .elapsed
+            .as_secs_f64()
+        };
+        let clean = xfer(FaultSchedule::new());
+        // NIC down for 2 ms in the middle of the ~1 ms transfer: the flow
+        // trickles during the stall and resumes after the restore.
+        let flapped = xfer(FaultSchedule::flapping_nic(
+            0,
+            SimDuration::from_micros(200),
+            SimDuration::from_micros(2000),
+            SimDuration::from_micros(100),
+            1,
+        ));
+        assert!(
+            flapped > clean + 0.0015,
+            "flap should add ~2ms of stall: clean {clean}, flapped {flapped}"
+        );
+        assert!(
+            flapped < clean + 0.0025,
+            "transfer should resume after restore: clean {clean}, flapped {flapped}"
+        );
     }
 
     #[test]

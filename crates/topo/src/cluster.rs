@@ -191,6 +191,24 @@ impl Fabric {
     pub fn injection_link(&self, node: usize) -> LinkId {
         self.inject[node]
     }
+
+    /// Ejection link of a node (switch -> NIC direction).
+    pub fn ejection_link(&self, node: usize) -> LinkId {
+        self.eject[node]
+    }
+
+    /// Number of duplex links in each node's local fabric (the valid
+    /// `link` range for [`Self::node_duplex_link`]).
+    pub fn node_link_count(&self) -> usize {
+        self.spec.node.links.len()
+    }
+
+    /// The `(forward, reverse)` simulator links instantiating duplex link
+    /// `link` of node `node` — the addressing handle fault injection uses
+    /// to degrade one physical link in both directions.
+    pub fn node_duplex_link(&self, node: usize, link: usize) -> (LinkId, LinkId) {
+        (self.fwd[node][link], self.rev[node][link])
+    }
 }
 
 #[cfg(test)]
