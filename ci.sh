@@ -19,6 +19,12 @@ cargo build --offline --release --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+echo "==> cargo test --doc"
+cargo test --offline --workspace --doc -q
+
+echo "==> markdown link check (doccheck)"
+./target/release/doccheck .
+
 echo "==> bench smoke (simperf --quick)"
 ./target/release/simperf --quick --json /tmp/simperf_smoke.json
 ./target/release/simperf --validate /tmp/simperf_smoke.json

@@ -1,0 +1,207 @@
+//! Markdown relative-link checker for the repo's documentation.
+//!
+//! Scans `README.md`, `DESIGN.md`, `ROADMAP.md`, `EXPERIMENTS.md`, and every
+//! `docs/*.md` for inline links (`[text](target)`), and verifies that each
+//! relative target resolves to an existing file — including `#anchor`
+//! fragments, which must match a heading in the target document under
+//! GitHub's slugification rules. External (`http(s)://`) links are skipped:
+//! CI runs offline. Exits non-zero listing every broken link.
+//!
+//! Usage: `doccheck [REPO_ROOT]` (default: current directory). Wired into
+//! `ci.sh` so documentation cannot silently rot as files move.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// GitHub heading slug: lowercase, alphanumerics kept, spaces become
+/// hyphens, everything else dropped.
+fn slugify(heading: &str) -> String {
+    let mut s = String::new();
+    for c in heading.trim().chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                s.push(lc);
+            }
+        } else if c == ' ' || c == '-' {
+            s.push('-');
+        }
+    }
+    s
+}
+
+/// Headings of a markdown file as anchor slugs (fenced code blocks excluded).
+fn anchors(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && trimmed.starts_with('#') {
+            let heading = trimmed.trim_start_matches('#');
+            if heading.starts_with(' ') || heading.is_empty() {
+                out.push(slugify(heading));
+            }
+        }
+    }
+    out
+}
+
+/// Inline `[text](target)` links with their 1-based line numbers. Ignores
+/// fenced code blocks and images; tolerates nothing fancier than one level
+/// of nesting in the link text.
+fn links(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'[' {
+                // Find the matching close bracket, then require "(" next.
+                let mut depth = 1usize;
+                let mut j = i + 1;
+                while j < bytes.len() && depth > 0 {
+                    match bytes[j] {
+                        b'[' => depth += 1,
+                        b']' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if depth == 0 && j < bytes.len() && bytes[j] == b'(' {
+                    if let Some(close) = line[j + 1..].find(')') {
+                        out.push((ln + 1, line[j + 1..j + 1 + close].to_string()));
+                        i = j + 1 + close;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+fn check_file(root: &Path, file: &Path, problems: &mut String) -> usize {
+    let text =
+        std::fs::read_to_string(file).unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+    let dir = file.parent().unwrap_or(root);
+    let mut checked = 0;
+    for (line, target) in links(&text) {
+        if target.starts_with("http://") || target.starts_with("https://") {
+            continue;
+        }
+        checked += 1;
+        let (path_part, frag) = match target.split_once('#') {
+            Some((p, f)) => (p, Some(f)),
+            None => (target.as_str(), None),
+        };
+        let resolved: PathBuf = if path_part.is_empty() {
+            file.to_path_buf() // pure in-document anchor
+        } else {
+            dir.join(path_part)
+        };
+        if !resolved.exists() {
+            let _ = writeln!(
+                problems,
+                "{}:{line}: broken link `{target}` (no such file {})",
+                file.display(),
+                resolved.display()
+            );
+            continue;
+        }
+        if let Some(frag) = frag {
+            let is_md = resolved.extension().is_some_and(|e| e == "md");
+            if is_md {
+                let dest = std::fs::read_to_string(&resolved)
+                    .unwrap_or_else(|e| panic!("read {}: {e}", resolved.display()));
+                if !anchors(&dest).iter().any(|a| a == frag) {
+                    let _ = writeln!(
+                        problems,
+                        "{}:{line}: broken anchor `#{frag}` in `{target}` (no such heading in {})",
+                        file.display(),
+                        resolved.display()
+                    );
+                }
+            }
+        }
+    }
+    checked
+}
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut targets: Vec<PathBuf> = ["README.md", "DESIGN.md", "ROADMAP.md", "EXPERIMENTS.md"]
+        .iter()
+        .map(|f| root.join(f))
+        .filter(|p| p.exists())
+        .collect();
+    let docs = root.join("docs");
+    if docs.is_dir() {
+        let mut md: Vec<PathBuf> = std::fs::read_dir(&docs)
+            .unwrap_or_else(|e| panic!("read_dir {}: {e}", docs.display()))
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| p.extension().is_some_and(|e| e == "md"))
+            .collect();
+        md.sort();
+        targets.extend(md);
+    }
+
+    let mut problems = String::new();
+    let mut total = 0;
+    for file in &targets {
+        total += check_file(&root, file, &mut problems);
+    }
+    if problems.is_empty() {
+        println!(
+            "doccheck: {} relative links OK across {} files",
+            total,
+            targets.len()
+        );
+    } else {
+        eprint!("{problems}");
+        eprintln!("doccheck: FAILED");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_match_github_rules() {
+        assert_eq!(
+            slugify("The model in one paragraph"),
+            "the-model-in-one-paragraph"
+        );
+        assert_eq!(
+            slugify("Why virtual times are bit-identical"),
+            "why-virtual-times-are-bit-identical"
+        );
+        assert_eq!(
+            slugify("Writing programs against `SimCtx`"),
+            "writing-programs-against-simctx"
+        );
+    }
+
+    #[test]
+    fn finds_links_outside_code_fences() {
+        let md = "see [a](x.md) and\n```\n[not](y.md)\n```\n[b](z.md#sec)\n";
+        let got = links(md);
+        assert_eq!(got, vec![(1, "x.md".into()), (5, "z.md#sec".into())]);
+    }
+}

@@ -6,8 +6,9 @@
 //! run it before and after a kernel change and compare.
 //!
 //! Groups:
-//! * `sched/*` — cooperative-scheduler churn: OS-thread spawn cost and
-//!   token hand-off (`yield_now`) at 16/64/256-node rank counts.
+//! * `sched/*` — cooperative-scheduler churn: coroutine world spawn +
+//!   teardown (up to the full-Summit 27,648-rank count) and token hand-off
+//!   (`yield_now`) at 16/64/256-node rank counts.
 //! * `event/*` — raw event-queue throughput (schedule + drain).
 //! * `flow/*`  — flow-network churn: a single contended link (worst-case
 //!   reshare fan-out) and a fabric-shaped link set at paper scales.
@@ -22,10 +23,10 @@
 //! * `--validate PATH`   parse a previously written JSON artifact and exit
 //!   non-zero if it is malformed (used by `ci.sh bench-smoke`).
 //!
-//! `BENCH_pr2.json` at the repo root was produced by running this suite on
-//! the pre-optimization kernel (`--json before.json`), then on the
-//! optimized kernel with `--baseline before.json`. See
-//! `docs/PERFORMANCE.md`.
+//! `BENCH_pr2.json` and `BENCH_pr6.json` at the repo root were produced by
+//! running this suite with `--baseline` pointed at a seed-kernel artifact,
+//! so their `baseline_min_s`/`speedup` columns compare against the
+//! original pre-optimization simulator. See `docs/PERFORMANCE.md`.
 
 use std::sync::Arc;
 
@@ -61,7 +62,8 @@ fn sched_churn(threads: usize, rounds: usize) {
     });
 }
 
-/// OS-thread spawn + single token round, no work.
+/// Coroutine world spawn + teardown: one stack allocation and one token
+/// round per rank, no work.
 fn sched_spawn(threads: usize) {
     let mut sim = Sim::new();
     sim.run(threads, |_| {});
@@ -280,6 +282,7 @@ fn main() {
         results.push(b.run_summary("churn/24tx20", || sched_churn(24, 20)));
     } else {
         results.push(b.run_summary("spawn/1536t", || sched_spawn(1536)));
+        results.push(b.run_summary("spawn/27648t", || sched_spawn(27648)));
         results.push(b.run_summary("churn/96tx200", || sched_churn(96, 200)));
         results.push(b.run_summary("churn/384tx50", || sched_churn(384, 50)));
         results.push(b.run_summary("churn/1536tx20", || sched_churn(1536, 20)));

@@ -193,16 +193,16 @@ impl DistributedDomain {
                 "preplaced placements must have one entry per node"
             );
             pre.as_ref().clone()
-        } else {
-            let measured_distance = (spec.placement == PlacementStrategy::Empirical).then(|| {
-                crate::empirical::distance_from_measured(
-                    &crate::empirical::measure_node_bandwidths(
-                        ctx,
-                        crate::empirical::DEFAULT_PROBE_BYTES,
-                    ),
-                )
-            });
-            let discovery: &NodeDiscovery = machine.discovery();
+        } else if spec.placement == PlacementStrategy::Empirical {
+            // Empirical placement probes bandwidths *inside* the simulation
+            // (collective per node, consumes virtual time), so it cannot be
+            // memoized across ranks — each rank participates.
+            let d = crate::empirical::distance_from_measured(
+                &crate::empirical::measure_node_bandwidths(
+                    ctx,
+                    crate::empirical::DEFAULT_PROBE_BYTES,
+                ),
+            );
             let mut by_extent: HashMap<Dim3, Placement> = HashMap::new();
             let mut placements = Vec::with_capacity(part.num_nodes());
             for n in 0..part.num_nodes() {
@@ -210,34 +210,69 @@ impl DistributedDomain {
                 let ext = part.node_box(idx).extent;
                 let pl = by_extent
                     .entry(ext)
-                    .or_insert_with(|| match &measured_distance {
-                        Some(d) => crate::placement::place_with_distance(
+                    .or_insert_with(|| {
+                        crate::placement::place_with_distance(
                             &part,
                             idx,
-                            d,
+                            &d,
                             spec.neighborhood,
                             &spec.radius,
                             spec.quantities,
                             spec.elem_size,
                             false,
                             spec.boundary,
-                        ),
-                        None => place(
-                            &part,
-                            idx,
-                            discovery,
-                            spec.neighborhood,
-                            &spec.radius,
-                            spec.quantities,
-                            spec.elem_size,
-                            spec.placement,
-                            spec.boundary,
-                        ),
+                        )
                     })
                     .clone();
                 placements.push(pl);
             }
             placements
+        } else {
+            // Topology-derived placement is a pure, deterministic function
+            // of (partition, node topology, spec): every rank computes an
+            // identical answer with no communication. Compute it once per
+            // world and share it — at 256+ nodes the per-rank recomputation
+            // is the dominant wall-clock cost of setup.
+            let key = format!(
+                "stencil-core/placements/{:?}/{:?}/{}/{}/{:?}/{:?}/{:?}/{}n/{}g",
+                spec.size,
+                spec.radius,
+                spec.quantities,
+                spec.elem_size,
+                spec.neighborhood,
+                spec.placement,
+                spec.boundary,
+                num_nodes,
+                gpn,
+            );
+            let shared = ctx.cached_setup(&key, || {
+                let discovery: &NodeDiscovery = machine.discovery();
+                let mut by_extent: HashMap<Dim3, Placement> = HashMap::new();
+                let mut placements = Vec::with_capacity(part.num_nodes());
+                for n in 0..part.num_nodes() {
+                    let idx = part.node_from_linear(n);
+                    let ext = part.node_box(idx).extent;
+                    let pl = by_extent
+                        .entry(ext)
+                        .or_insert_with(|| {
+                            place(
+                                &part,
+                                idx,
+                                discovery,
+                                spec.neighborhood,
+                                &spec.radius,
+                                spec.quantities,
+                                spec.elem_size,
+                                spec.placement,
+                                spec.boundary,
+                            )
+                        })
+                        .clone();
+                    placements.push(pl);
+                }
+                placements
+            });
+            shared.as_ref().clone()
         };
 
         // This rank's subdomains, one per GPU it controls.

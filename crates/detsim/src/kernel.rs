@@ -13,6 +13,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -27,18 +28,104 @@ use crate::trace::Trace;
 /// A callback run by the event loop. Runs at most once.
 pub type Action = Box<dyn FnOnce(&mut Kernel) + Send>;
 
+/// A type-erased `FnOnce(&mut Kernel)` that stores one-word closures inline
+/// instead of boxing them.
+///
+/// Event churn at paper scale is dominated by tiny closures — typically a
+/// single completion handle or id — so keeping the capture inside the event
+/// itself removes a heap round-trip per scheduled event. Closures that
+/// don't fit in one word fall back to a (thin) box, transparently. The
+/// whole thing is two words — payload plus a `&'static` vtable — which
+/// keeps `Event` at the same size the old fat-boxed `Action` gave it:
+/// growing events would slow every `BinaryHeap` sift for *all* event kinds,
+/// including the flow completions that dominate paper-scale heaps.
+pub(crate) struct SmallAction {
+    data: MaybeUninit<*mut ()>,
+    vtable: &'static ActionVTable,
+}
+
+struct ActionVTable {
+    call: unsafe fn(*mut *mut (), &mut Kernel),
+    drop: unsafe fn(*mut *mut ()),
+}
+
+// SAFETY: constructed only from `F: Send` closures (enforced by `new`), and
+// the vtable functions only touch that F.
+unsafe impl Send for SmallAction {}
+
+impl SmallAction {
+    pub(crate) fn new<F: FnOnce(&mut Kernel) + Send + 'static>(f: F) -> Self {
+        let mut data = MaybeUninit::<*mut ()>::uninit();
+        if size_of::<F>() <= size_of::<*mut ()>() && align_of::<F>() <= align_of::<*mut ()>() {
+            unsafe { data.as_mut_ptr().cast::<F>().write(f) };
+            SmallAction {
+                data,
+                vtable: &ActionVTable {
+                    call: call_inline::<F>,
+                    drop: drop_inline::<F>,
+                },
+            }
+        } else {
+            let p = Box::into_raw(Box::new(f));
+            unsafe { data.as_mut_ptr().cast::<*mut F>().write(p) };
+            SmallAction {
+                data,
+                vtable: &ActionVTable {
+                    call: call_boxed::<F>,
+                    drop: drop_boxed::<F>,
+                },
+            }
+        }
+    }
+
+    /// Invoke the closure, consuming it.
+    pub(crate) fn call(self, k: &mut Kernel) {
+        let mut this = ManuallyDrop::new(self);
+        unsafe { (this.vtable.call)(this.data.as_mut_ptr(), k) }
+    }
+}
+
+impl Drop for SmallAction {
+    fn drop(&mut self) {
+        unsafe { (self.vtable.drop)(self.data.as_mut_ptr()) }
+    }
+}
+
+unsafe fn call_inline<F: FnOnce(&mut Kernel)>(data: *mut *mut (), k: &mut Kernel) {
+    let f = unsafe { data.cast::<F>().read() };
+    f(k)
+}
+
+unsafe fn drop_inline<F>(data: *mut *mut ()) {
+    unsafe { std::ptr::drop_in_place(data.cast::<F>()) }
+}
+
+unsafe fn call_boxed<F: FnOnce(&mut Kernel)>(data: *mut *mut (), k: &mut Kernel) {
+    let f = unsafe { Box::from_raw(data.cast::<*mut F>().read()) };
+    f(k)
+}
+
+unsafe fn drop_boxed<F>(data: *mut *mut ()) {
+    drop(unsafe { Box::from_raw(data.cast::<*mut F>().read()) });
+}
+
 /// What happens when an event fires. Flow completions — by far the most
 /// common event at paper scale, and the only kind that is routinely
 /// superseded — are a plain enum variant instead of a boxed closure, so
 /// re-projecting a flow allocates nothing and a stale completion can be
-/// recognized (and dropped) without executing it.
+/// recognized (and dropped) without executing it. Timer wakes (the
+/// `SimCtx::delay` fast path) are likewise a bare variant: waking a rank
+/// needs no completion object at all.
 pub(crate) enum EventKind {
-    /// Run a boxed callback.
-    Call(Action),
+    /// Run a callback (inline if small, boxed otherwise).
+    Call(SmallAction),
     /// Deliver the last byte of flow `fid`, provided its generation still
     /// equals `gen` (otherwise the event is stale: the flow was re-rated or
     /// already finished and the slot possibly reused).
     FlowFinish { fid: FlowId, gen: u64 },
+    /// Wake rank `tid` from a `SimCtx::delay`, provided `token` is still
+    /// the wake it is armed for (see `SchedState::fire_wake`).
+    Wake { tid: usize, token: u64 },
 }
 
 pub(crate) struct Event {
@@ -86,10 +173,10 @@ impl Ord for Event {
 
 enum CompletionState {
     Pending {
-        /// Sim thread ids to make runnable when this completes.
+        /// Rank ids to make runnable when this completes.
         waiters: Vec<usize>,
         /// Callbacks to run (in registration order) when this completes.
-        callbacks: Vec<Action>,
+        callbacks: Vec<SmallAction>,
     },
     Done,
 }
@@ -212,7 +299,21 @@ impl Kernel {
             &mut self.queue,
             &mut self.next_seq,
             at,
-            EventKind::Call(Box::new(action)),
+            EventKind::Call(SmallAction::new(action)),
+        );
+    }
+
+    /// Arm and schedule a bare timer wake for rank `tid`, `d` from now: the
+    /// `SimCtx::delay` fast path. One event, same `(time, seq)` key a
+    /// completion-based delay would have consumed — virtual times are
+    /// unchanged — but no completion allocation and no callback.
+    pub(crate) fn schedule_wake(&mut self, tid: usize, d: SimDuration) {
+        let token = self.sched.arm_wake(tid);
+        push_event(
+            &mut self.queue,
+            &mut self.next_seq,
+            self.now + d,
+            EventKind::Wake { tid, token },
         );
     }
 
@@ -273,7 +374,7 @@ impl Kernel {
                 self.sched.make_runnable(tid);
             }
             for cb in callbacks {
-                cb(self);
+                cb.call(self);
             }
         }
     }
@@ -287,7 +388,7 @@ impl Kernel {
         let mut st = c.0.lock();
         match &mut *st {
             CompletionState::Pending { callbacks, .. } => {
-                callbacks.push(Box::new(action));
+                callbacks.push(SmallAction::new(action));
             }
             CompletionState::Done => {
                 drop(st);
@@ -334,7 +435,13 @@ impl Kernel {
                         debug_assert!(ev.at >= self.now, "event queue went backwards");
                         self.now = ev.at;
                         self.executed_events += 1;
-                        action(self);
+                        action.call(self);
+                    }
+                    EventKind::Wake { tid, token } => {
+                        debug_assert!(ev.at >= self.now, "event queue went backwards");
+                        self.now = ev.at;
+                        self.executed_events += 1;
+                        self.sched.fire_wake(tid, token);
                     }
                     EventKind::FlowFinish { fid, gen } => {
                         if self.flows.is_fresh(fid, gen) {
@@ -361,7 +468,7 @@ impl Kernel {
         let before = self.queue.len();
         let mut events = std::mem::take(&mut self.queue).into_vec();
         events.retain(|ev| match ev.kind {
-            EventKind::Call(_) => true,
+            EventKind::Call(_) | EventKind::Wake { .. } => true,
             EventKind::FlowFinish { fid, gen } => self.flows.is_fresh(fid, gen),
         });
         let dropped = before - events.len();

@@ -16,8 +16,10 @@
 //! * **FIFO resources** — bounded-concurrency service queues (models CUDA
 //!   streams, copy engines, kernel engines, MPI progress threads).
 //! * **Cooperative scheduler** ([`Sim`], [`SimCtx`]) — simulated processes
-//!   run as OS threads, one at a time, handed a run token in deterministic
-//!   order; blocking operations advance virtual time.
+//!   run as stackful coroutines on one OS thread, one at a time, handed a
+//!   run token in deterministic order; blocking operations advance virtual
+//!   time. Spawning a rank is an allocation, not a syscall, so worlds of
+//!   tens of thousands of ranks are practical (see `docs/RUNTIME.md`).
 //! * **Tracing** ([`trace::Trace`]) — span timelines exportable as Chrome
 //!   trace JSON or ASCII art (reproduces the paper's Fig. 9).
 //! * **Metrics** ([`Metrics`]) — a deterministic registry of counters,
@@ -49,11 +51,11 @@
 #![warn(missing_docs)]
 #![allow(clippy::needless_doctest_main)]
 
+mod fiber;
 mod fifo;
 mod flow;
 mod kernel;
 pub mod metrics;
-mod park;
 mod sched;
 mod time;
 pub mod trace;

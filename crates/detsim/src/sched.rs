@@ -1,44 +1,48 @@
-//! Cooperative, deterministic scheduling of simulation threads.
+//! Cooperative, deterministic scheduling of simulated ranks.
 //!
-//! Simulated processes (e.g. MPI ranks) run as real OS threads for a natural
-//! blocking programming model, but **exactly one sim thread executes at a
-//! time**: a run token is handed from thread to thread. A thread gives up the
-//! token only at explicit blocking points (waiting on a [`Completion`],
-//! delaying). When no thread is runnable, the thread releasing the token runs
-//! the event loop until an event makes one runnable. Runnable threads are
-//! granted the token in ascending thread-id order.
+//! Simulated processes (e.g. MPI ranks) run as **stackful coroutines**
+//! ("fibers", see [`crate::fiber`]): each rank program gets its own stack
+//! and a natural blocking programming model, but there is only one OS
+//! thread. Exactly one rank executes at a time — the scheduler hands a run
+//! token from rank to rank by switching stacks. A rank gives up the token
+//! only at explicit blocking points (waiting on a [`Completion`], delaying).
+//! When no rank is runnable, the scheduler runs the event loop until an
+//! event makes one runnable. Runnable ranks are granted the token in
+//! ascending rank-id order.
 //!
-//! Because grants depend only on (deterministic) event order and thread ids,
-//! a simulation produces bit-identical virtual times on every run.
+//! Because grants depend only on (deterministic) event order and rank ids,
+//! a simulation produces bit-identical virtual times on every run. The
+//! full execution model — token contract, fiber discipline, the
+//! determinism argument, and how this replaced the earlier
+//! one-OS-thread-per-rank design — is documented in `docs/RUNTIME.md`.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 
-use crate::park::{Parker, Unparker};
-
+use crate::fiber::{FiberFn, Runtime, DEFAULT_STACK_SIZE, RESUME_POISON, RESUME_RUN};
 use crate::kernel::{Completion, Kernel};
 use crate::time::{SimDuration, SimTime};
 
-/// Lifecycle of one sim thread, indexed by thread id.
+/// Lifecycle of one simulated rank, indexed by rank id.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum RankState {
     /// In the ready queue, waiting for the token.
     Ready,
     /// Holds the token.
     Running,
-    /// Parked on a blocking primitive; not in the ready queue.
+    /// Suspended on a blocking primitive; not in the ready queue.
     Blocked,
     /// Program returned (or unwound); never runnable again.
     Finished,
 }
 
-/// Two-level bitset of ready thread ids with O(1) lowest-id pop.
+/// Two-level bitset of ready rank ids with O(1) lowest-id pop.
 ///
-/// Level 0 packs one bit per thread; level 1 summarizes which level-0 words
+/// Level 0 packs one bit per rank; level 1 summarizes which level-0 words
 /// are non-empty. `pop_first` finds the lowest set bit via two
-/// `trailing_zeros` — constant time up to 4096 threads, and one extra word
+/// `trailing_zeros` — constant time up to 4096 ranks, and one extra word
 /// scan per further 4096. This replaces a `BTreeSet<usize>`, whose node
 /// allocations and pointer chasing dominated token hand-off at paper scale
 /// (1536 ranks = 256 nodes x 6).
@@ -55,7 +59,7 @@ impl ReadyQueue {
         }
     }
 
-    /// Size for `n` thread ids, all bits clear.
+    /// Size for `n` rank ids, all bits clear.
     fn reset(&mut self, n: usize) {
         let nw = n.div_ceil(64);
         self.words.clear();
@@ -82,7 +86,7 @@ impl ReadyQueue {
         }
     }
 
-    /// Remove and return the lowest ready thread id.
+    /// Remove and return the lowest ready rank id.
     fn pop_first(&mut self) -> Option<usize> {
         for (si, summary) in self.summary.iter_mut().enumerate() {
             if *summary == 0 {
@@ -102,14 +106,23 @@ impl ReadyQueue {
 }
 
 /// Scheduler bookkeeping; lives inside [`Kernel`] so event callbacks can wake
-/// threads.
+/// ranks.
 pub(crate) struct SchedState {
     ready: ReadyQueue,
     state: Vec<RankState>,
     current: Option<usize>,
     alive: usize,
     poisoned: bool,
-    unparkers: Vec<Unparker>,
+    /// Per-rank token of the timer wake the rank is blocked on (0 = none).
+    /// Lets [`crate::SimCtx::delay`] use a bare [`EventKind::Wake`] event —
+    /// no completion allocation — while still ignoring spurious wakeups
+    /// from stale completion waiters.
+    ///
+    /// [`EventKind::Wake`]: crate::kernel::EventKind
+    wake_wanted: Vec<u64>,
+    /// Monotonic timer-wake token source. Never reset, so a stale wake
+    /// event surviving a poisoned run can never match a later token.
+    next_wake_token: u64,
 }
 
 impl SchedState {
@@ -120,12 +133,13 @@ impl SchedState {
             current: None,
             alive: 0,
             poisoned: false,
-            unparkers: Vec::new(),
+            wake_wanted: Vec::new(),
+            next_wake_token: 1,
         }
     }
 
-    /// Mark a thread ready to receive the token. Idempotent; no-ops for the
-    /// currently-running or already-finished threads.
+    /// Mark a rank ready to receive the token. Idempotent; no-ops for the
+    /// currently-running or already-finished ranks.
     pub(crate) fn make_runnable(&mut self, tid: usize) {
         // Running: a wakeup for the token holder is meaningless — it
         // re-checks its wait condition before blocking. Ready: already
@@ -136,9 +150,27 @@ impl SchedState {
             self.ready.insert(tid);
         }
     }
+
+    /// Arm a timer wake for `tid`, returning its token.
+    pub(crate) fn arm_wake(&mut self, tid: usize) -> u64 {
+        let token = self.next_wake_token;
+        self.next_wake_token += 1;
+        self.wake_wanted[tid] = token;
+        token
+    }
+
+    /// Fire a timer wake: wakes `tid` iff `token` is the one it is armed
+    /// with (a mismatch means the wake is stale — e.g. left over from a
+    /// poisoned earlier run).
+    pub(crate) fn fire_wake(&mut self, tid: usize, token: u64) {
+        if token != 0 && self.wake_wanted.get(tid).copied() == Some(token) {
+            self.wake_wanted[tid] = 0;
+            self.make_runnable(tid);
+        }
+    }
 }
 
-/// A deterministic simulation with cooperative threads.
+/// A deterministic simulation with cooperative coroutine ranks.
 ///
 /// ```
 /// use detsim::{Sim, SimDuration};
@@ -154,6 +186,7 @@ impl SchedState {
 /// ```
 pub struct Sim {
     shared: Arc<SimShared>,
+    stack_size: usize,
 }
 
 pub(crate) struct SimShared {
@@ -173,7 +206,31 @@ impl Sim {
             shared: Arc::new(SimShared {
                 kernel: Mutex::new(Kernel::new()),
             }),
+            stack_size: DEFAULT_STACK_SIZE,
         }
+    }
+
+    /// Set the per-rank fiber stack size in bytes for subsequent
+    /// [`Sim::run`] calls (default 512 KiB, the same budget rank OS threads
+    /// used to get). Values below 16 KiB are clamped up; the size is
+    /// rounded to 16-byte alignment internally.
+    ///
+    /// Stacks are plain heap allocations: untouched pages cost nothing, so
+    /// large worlds with a generous stack size are cheap — but there is no
+    /// OS guard page. A canary at the overflow end turns an overflow into
+    /// an abort with a message naming this method.
+    ///
+    /// ```
+    /// use detsim::{Sim, SimDuration};
+    ///
+    /// let mut sim = Sim::new();
+    /// sim.stack_size(1024 * 1024); // rank programs recurse deeply
+    /// sim.run(1, |ctx| ctx.delay(SimDuration::from_micros(1)));
+    /// assert_eq!(sim.now().picos(), SimDuration::from_micros(1).picos());
+    /// ```
+    pub fn stack_size(&mut self, bytes: usize) -> &mut Self {
+        self.stack_size = bytes.max(16 * 1024);
+        self
     }
 
     /// Mutate or inspect the kernel outside of a running simulation
@@ -185,8 +242,8 @@ impl Sim {
     }
 
     /// Run `n` copies of `program` (distinguished by [`SimCtx::tid`]) to
-    /// completion. Blocks the calling thread; returns when every sim thread
-    /// has returned. Virtual time persists across calls.
+    /// completion. Blocks the calling thread; returns when every rank has
+    /// returned. Virtual time persists across calls.
     pub fn run<F>(&mut self, n: usize, program: F)
     where
         F: Fn(&SimCtx) + Send + Sync + 'static,
@@ -201,13 +258,12 @@ impl Sim {
         self.run_programs(programs);
     }
 
-    /// Run heterogeneous per-thread programs.
+    /// Run heterogeneous per-rank programs.
     pub fn run_programs(&mut self, programs: Vec<Program>) {
         let n = programs.len();
         if n == 0 {
             return;
         }
-        let mut parkers = Vec::with_capacity(n);
         {
             let mut k = self.shared.kernel.lock();
             assert!(
@@ -216,57 +272,36 @@ impl Sim {
             );
             k.sched.ready.reset(n);
             k.sched.state = vec![RankState::Ready; n];
+            k.sched.wake_wanted.clear();
+            k.sched.wake_wanted.resize(n, 0);
             k.sched.poisoned = false;
             k.sched.alive = n;
-            k.sched.unparkers.clear();
-            for _ in 0..n {
-                let p = Parker::new();
-                k.sched.unparkers.push(p.unparker());
-                parkers.push(p);
-            }
             for tid in 0..n {
                 k.sched.ready.insert(tid);
             }
-            dispatch(&mut k);
         }
-        let mut handles = Vec::with_capacity(n);
-        for (tid, (program, parker)) in programs.into_iter().zip(parkers).enumerate() {
+        let rt = Runtime::new(n);
+        let rt_ptr: *const Runtime = &rt;
+        for (tid, program) in programs.into_iter().enumerate() {
             let shared = Arc::clone(&self.shared);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("sim-{tid}"))
-                    .stack_size(512 * 1024)
-                    .spawn(move || {
-                        let ctx = SimCtx {
-                            shared,
-                            tid,
-                            parker,
-                        };
-                        ctx.wait_granted();
-                        let result = panic::catch_unwind(AssertUnwindSafe(|| program(&ctx)));
-                        ctx.retire(result.is_err());
-                        if let Err(p) = result {
-                            panic::resume_unwind(p);
-                        }
-                    })
-                    .expect("spawn sim thread"),
-            );
+            let f: FiberFn = Box::new(move |first_msg| {
+                fiber_main(shared, tid, rt_ptr, program, first_msg);
+            });
+            rt.spawn(f, self.stack_size);
         }
-        // Prefer propagating the original panic over secondary
-        // poisoned-simulation panics raised by bystander threads.
-        let mut real_panic = None;
-        let mut poison_panic = None;
-        for h in handles {
-            if let Err(p) = h.join() {
-                if p.is::<SimPoisoned>() {
-                    poison_panic.get_or_insert(p);
-                } else {
-                    real_panic.get_or_insert(p);
-                }
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| drive(&self.shared, &rt)))
+            .unwrap_or_else(Outcome::Panicked);
+        match outcome {
+            Outcome::Completed => {}
+            Outcome::Deadlock(msg) => {
+                poison_teardown(&self.shared, &rt);
+                panic!("{msg}");
             }
-        }
-        if let Some(p) = real_panic.or(poison_panic) {
-            panic::resume_unwind(p);
+            Outcome::Panicked(p) => {
+                self.shared.kernel.lock().sched.poisoned = true;
+                poison_teardown(&self.shared, &rt);
+                panic::resume_unwind(p);
+            }
         }
     }
 
@@ -276,57 +311,159 @@ impl Sim {
     }
 }
 
-/// A boxed per-thread program.
+/// A boxed per-rank program.
 pub type Program = Box<dyn FnOnce(&SimCtx) + Send>;
 
-/// Panic payload used when a thread aborts because another thread poisoned
-/// the simulation; filtered out in favour of the original panic.
+/// Panic payload used to unwind ranks when the simulation has been poisoned
+/// (another rank panicked, or a deadlock was detected); filtered out in
+/// favour of the original panic.
 struct SimPoisoned;
 
-/// Hand the run token to the next runnable thread, advancing the event loop
-/// as needed. Caller must have cleared `current`.
-fn dispatch(k: &mut Kernel) {
-    debug_assert!(k.sched.current.is_none());
+/// How a drive loop ended.
+enum Outcome {
+    /// Every rank finished.
+    Completed,
+    /// No rank runnable and no event pending; the message lists the stuck
+    /// ranks.
+    Deadlock(String),
+    /// A rank program (or an event callback) panicked with this payload.
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// The scheduler proper: grant the token to the lowest ready rank, switch
+/// into its fiber, repeat; run the event loop when nobody is ready.
+///
+/// This is the same decision procedure the thread-based scheduler ran
+/// (pop lowest ready id, else step one event, else deadlock) — executed on
+/// the scheduler's own context instead of by whichever rank was releasing
+/// the token. The sequence of pops and steps, and therefore every virtual
+/// timestamp, is unchanged. See `docs/RUNTIME.md`.
+fn drive(shared: &SimShared, rt: &Runtime) -> Outcome {
     loop {
-        if let Some(next) = k.sched.ready.pop_first() {
-            k.sched.state[next] = RankState::Running;
-            k.sched.current = Some(next);
-            k.sched.unparkers[next].unpark();
-            return;
-        }
-        if k.sched.alive == 0 {
-            return;
-        }
-        if !k.step() {
-            k.sched.poisoned = true;
-            let alive = k.sched.alive;
-            let blocked: Vec<usize> = (0..k.sched.state.len())
-                .filter(|&t| k.sched.state[t] != RankState::Finished)
-                .collect();
-            for u in &k.sched.unparkers {
-                u.unpark();
+        let next = {
+            let mut k = shared.kernel.lock();
+            loop {
+                if let Some(next) = k.sched.ready.pop_first() {
+                    k.sched.state[next] = RankState::Running;
+                    k.sched.current = Some(next);
+                    break next;
+                }
+                if k.sched.alive == 0 {
+                    return Outcome::Completed;
+                }
+                if !k.step() {
+                    k.sched.poisoned = true;
+                    let alive = k.sched.alive;
+                    let blocked: Vec<usize> = (0..k.sched.state.len())
+                        .filter(|&t| k.sched.state[t] != RankState::Finished)
+                        .collect();
+                    return Outcome::Deadlock(format!(
+                        "detsim: deadlock — {alive} sim rank(s) blocked at {} with no pending \
+                         events; blocked ranks {blocked:?}; active flows {}; busy fifos {:?}",
+                        k.now(),
+                        k.active_flows(),
+                        k.busy_fifos(),
+                    ));
+                }
             }
-            panic!(
-                "detsim: deadlock — {alive} sim thread(s) blocked at {} with no pending events; \
-                 blocked threads {blocked:?}; active flows {}; busy fifos {:?}",
-                k.now(),
-                k.active_flows(),
-                k.busy_fifos(),
-            );
+        };
+        // Kernel unlocked: the fiber re-locks it at its own pace.
+        unsafe { rt.resume(next, RESUME_RUN) };
+        if let Some(p) = rt.take_panic() {
+            return Outcome::Panicked(p);
         }
     }
 }
 
-/// Per-thread handle into the simulation. Passed to each program; provides
-/// virtual-clock blocking primitives.
+/// Unwind every unfinished fiber after the simulation is poisoned, so rank
+/// stacks run their destructors before being freed. A fiber that blocks
+/// *again* while unwinding (a destructor waiting on virtual time that will
+/// never come) is abandoned: its stack is freed without running the
+/// remaining frames. The old thread model hung forever on join in that
+/// case; leaking is strictly better.
+fn poison_teardown(shared: &SimShared, rt: &Runtime) {
+    let n = shared.kernel.lock().sched.state.len();
+    for tid in 0..n {
+        {
+            let mut k = shared.kernel.lock();
+            debug_assert!(k.sched.poisoned);
+            if k.sched.state[tid] == RankState::Finished {
+                continue;
+            }
+            k.sched.ready.remove(tid);
+            k.sched.state[tid] = RankState::Running;
+            k.sched.current = Some(tid);
+        }
+        unsafe { rt.resume(tid, RESUME_POISON) };
+        let mut k = shared.kernel.lock();
+        if k.sched.current == Some(tid) {
+            // The fiber re-blocked instead of finishing: abandon it.
+            k.sched.current = None;
+        }
+    }
+}
+
+/// Body of every fiber: run the rank program, catch any unwind before it
+/// could reach the context-switch frame, record the outcome, then park
+/// forever (the scheduler never resumes a finished fiber; its stack is
+/// freed when the runtime drops).
+fn fiber_main(
+    shared: Arc<SimShared>,
+    tid: usize,
+    rt: *const Runtime,
+    program: Program,
+    first_msg: usize,
+) {
+    {
+        let ctx = SimCtx { shared, tid, rt };
+        let panicked = if first_msg == RESUME_RUN {
+            match panic::catch_unwind(AssertUnwindSafe(|| program(&ctx))) {
+                Ok(()) => None,
+                Err(p) if p.is::<SimPoisoned>() => None,
+                Err(p) => Some(p),
+            }
+        } else {
+            // Poisoned before ever running: don't start the program.
+            drop(program);
+            None
+        };
+        let mut k = ctx.shared.kernel.lock();
+        if k.sched.state[tid] != RankState::Finished {
+            k.sched.state[tid] = RankState::Finished;
+            k.sched.ready.remove(tid);
+            k.sched.alive -= 1;
+        }
+        if k.sched.current == Some(tid) {
+            k.sched.current = None;
+        }
+        if panicked.is_some() {
+            k.sched.poisoned = true;
+        }
+        drop(k);
+        if let Some(p) = panicked {
+            unsafe { (*rt).store_panic(p) };
+        }
+        // `ctx` (and its Arc) drops here, before the final switch: nothing
+        // on this stack owns heap memory any more, so freeing the stack
+        // without unwinding it leaks nothing.
+    }
+    loop {
+        unsafe { (*rt).yield_to_scheduler(tid, 0) };
+    }
+}
+
+/// Per-rank handle into the simulation. Passed to each program; provides
+/// virtual-clock blocking primitives. Each method runs on the rank's own
+/// fiber and may suspend it (handing the run token back to the scheduler)
+/// until the wake condition holds.
 pub struct SimCtx {
     shared: Arc<SimShared>,
     tid: usize,
-    parker: Parker,
+    rt: *const Runtime,
 }
 
 impl SimCtx {
-    /// This thread's id, `0..n`.
+    /// This rank's id, `0..n`.
     pub fn tid(&self) -> usize {
         self.tid
     }
@@ -342,10 +479,25 @@ impl SimCtx {
         f(&mut self.shared.kernel.lock())
     }
 
-    /// Block this thread for `d` of virtual time.
+    /// Block this rank for `d` of virtual time.
+    ///
+    /// Fast path: schedules a single bare timer-wake event — no completion,
+    /// no allocation. The event fires at the same `(time, seq)` key the
+    /// old completion-based implementation used, so virtual times are
+    /// unchanged to the bit.
     pub fn delay(&self, d: SimDuration) {
-        let c = self.with_kernel(|k| k.completion_in(d));
-        self.wait(&c);
+        let mut k = self.shared.kernel.lock();
+        k.schedule_wake(self.tid, d);
+        loop {
+            k = self.block(k);
+            // Wakes from stale completion waiters (e.g. a `wait_any` loser
+            // completing later) are spurious: the timer is still armed, so
+            // give the token straight back — exactly what the old
+            // completion-based delay did.
+            if k.sched.wake_wanted[self.tid] == 0 {
+                return;
+            }
+        }
     }
 
     /// Block until `c` completes. Returns immediately if it already has.
@@ -383,67 +535,27 @@ impl SimCtx {
         }
     }
 
-    /// Yield the token; other runnable threads (and due events) run before
-    /// this thread resumes at the same virtual instant.
+    /// Yield the token; other runnable ranks (and due events) run before
+    /// this rank resumes at the same virtual instant.
     pub fn yield_now(&self) {
-        let c = self.with_kernel(|k| k.completion_in(SimDuration::ZERO));
-        self.wait(&c);
+        self.delay(SimDuration::ZERO);
     }
 
-    /// Give up the token, returning a re-acquired kernel guard once the token
-    /// is granted back.
+    /// Give up the token — suspend this fiber and switch to the scheduler —
+    /// returning a re-acquired kernel guard once the token is granted back.
     fn block<'a>(&'a self, mut guard: MutexGuard<'a, Kernel>) -> MutexGuard<'a, Kernel> {
         debug_assert_eq!(guard.sched.current, Some(self.tid));
         guard.sched.current = None;
         guard.sched.state[self.tid] = RankState::Blocked;
-        dispatch(&mut guard);
         drop(guard);
-        self.wait_granted_inner()
-    }
-
-    fn wait_granted(&self) {
-        drop(self.wait_granted_inner());
-    }
-
-    fn wait_granted_inner(&self) -> MutexGuard<'_, Kernel> {
-        loop {
-            self.parker.park();
-            let g = self.shared.kernel.lock();
-            if g.sched.poisoned {
-                // Avoid double-panicking threads that are already unwinding.
-                if !std::thread::panicking() {
-                    drop(g);
-                    panic::panic_any(SimPoisoned);
-                }
-                return g;
-            }
-            if g.sched.current == Some(self.tid) {
-                return g;
-            }
-            drop(g);
+        let msg = unsafe { (*self.rt).yield_to_scheduler(self.tid, 0) };
+        if msg == RESUME_POISON && !std::thread::panicking() {
+            // Another rank panicked or a deadlock was declared; unwind this
+            // rank's stack. (While already unwinding, keep going normally —
+            // a destructor is doing sim work and gets one chance to run.)
+            panic::resume_unwind(Box::new(SimPoisoned));
         }
-    }
-
-    /// Mark this thread finished and hand off the token.
-    fn retire(&self, panicked: bool) {
-        let mut k = self.shared.kernel.lock();
-        if k.sched.state[self.tid] == RankState::Finished {
-            return;
-        }
-        k.sched.state[self.tid] = RankState::Finished;
-        k.sched.ready.remove(self.tid);
-        k.sched.alive -= 1;
-        if k.sched.current == Some(self.tid) {
-            k.sched.current = None;
-        }
-        if panicked {
-            k.sched.poisoned = true;
-            for u in &k.sched.unparkers {
-                u.unpark();
-            }
-            return;
-        }
-        dispatch(&mut k);
+        self.shared.kernel.lock()
     }
 }
 
@@ -476,7 +588,7 @@ mod tests {
         let log: Arc<Mutex<Vec<(usize, u64)>>> = Arc::new(Mutex::new(vec![]));
         let l = Arc::clone(&log);
         sim.run(3, move |ctx| {
-            // thread 0 sleeps 30us, thread 1 sleeps 20us, thread 2 sleeps 10us
+            // rank 0 sleeps 30us, rank 1 sleeps 20us, rank 2 sleeps 10us
             let d = SimDuration::from_micros(30 - 10 * ctx.tid() as u64);
             ctx.delay(d);
             l.lock().push((ctx.tid(), ctx.now().picos()));
@@ -636,5 +748,48 @@ mod tests {
         });
         let v = log.lock().clone();
         assert_eq!(v, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn panic_on_first_rank_unwinds_large_world() {
+        // Poison teardown must unwind every not-yet-started fiber without
+        // running its program.
+        let mut sim = Sim::new();
+        let started = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&started);
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            sim.run(100, move |ctx| {
+                s.fetch_add(1, Ordering::SeqCst);
+                if ctx.tid() == 0 {
+                    panic!("early");
+                }
+                ctx.delay(SimDuration::from_micros(1));
+            });
+        }));
+        assert!(r.is_err());
+        // Rank 0 panicked before anyone else got the token.
+        assert_eq!(started.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn custom_stack_size_survives_deep_recursion() {
+        fn burn(depth: usize) -> usize {
+            // Defeat tail-call-ish optimization with a stack array.
+            let pad = [depth as u8; 256];
+            if depth == 0 {
+                pad[0] as usize
+            } else {
+                burn(depth - 1) + pad.len()
+            }
+        }
+        let mut sim = Sim::new();
+        sim.stack_size(4 * 1024 * 1024);
+        let out = Arc::new(AtomicUsize::new(0));
+        let o = Arc::clone(&out);
+        sim.run(1, move |ctx| {
+            ctx.delay(SimDuration::from_nanos(1));
+            o.store(burn(2000), Ordering::SeqCst);
+        });
+        assert_eq!(out.load(Ordering::SeqCst), 2000 * 256);
     }
 }

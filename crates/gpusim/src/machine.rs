@@ -37,6 +37,9 @@ pub(crate) struct MachineInner {
     pub mode: DataMode,
     devices: Vec<DeviceState>,
     pub(crate) streams: Mutex<Vec<StreamInfo>>,
+    /// Stream-registry indices per device (default stream first), so
+    /// per-device lookups don't scan the whole registry.
+    streams_by_device: Mutex<Vec<Vec<usize>>>,
     peer_enabled: Mutex<HashSet<(usize, usize)>>,
 }
 
@@ -61,6 +64,7 @@ impl GpuMachine {
         let fabric = Fabric::build(kernel, cluster);
         let mut devices = Vec::with_capacity(num_nodes * gpus_per_node);
         let mut streams = Vec::with_capacity(num_nodes * gpus_per_node);
+        let mut streams_by_device = Vec::with_capacity(num_nodes * gpus_per_node);
         for node in 0..num_nodes {
             for g in 0..gpus_per_node {
                 let engine = kernel.add_link(
@@ -75,6 +79,7 @@ impl GpuMachine {
                 // Default stream: registry slot == global device id.
                 let fifo = kernel.add_fifo(format!("n{node}.g{g}.s0"), 1);
                 let track = kernel.trace.add_track(format!("n{node}.g{g} default"));
+                streams_by_device.push(vec![streams.len()]);
                 streams.push(StreamInfo {
                     device: node * gpus_per_node + g,
                     fifo,
@@ -90,6 +95,7 @@ impl GpuMachine {
                 mode,
                 devices,
                 streams: Mutex::new(streams),
+                streams_by_device: Mutex::new(streams_by_device),
                 peer_enabled: Mutex::new(HashSet::new()),
             }),
         }
@@ -245,14 +251,16 @@ impl GpuMachine {
     /// Create a new stream on `device`.
     pub fn create_stream(&self, k: &mut Kernel, device: usize) -> Stream {
         let mut streams = self.inner.streams.lock();
+        let mut by_dev = self.inner.streams_by_device.lock();
         let idx = streams.len();
         let node = self.node_of(device);
         let local = self.local_of(device);
-        let per_dev = streams.iter().filter(|s| s.device == device).count();
+        let per_dev = by_dev[device].len();
         let fifo = k.add_fifo(format!("n{node}.g{local}.s{per_dev}"), 1);
         let track = k
             .trace
             .add_track(format!("n{node}.g{local} stream{per_dev}"));
+        by_dev[device].push(idx);
         streams.push(StreamInfo {
             device,
             fifo,
@@ -279,13 +287,9 @@ impl GpuMachine {
 
     /// All streams currently on `device` (default first).
     pub fn device_streams(&self, device: usize) -> Vec<Stream> {
-        self.inner
-            .streams
-            .lock()
+        self.inner.streams_by_device.lock()[device]
             .iter()
-            .enumerate()
-            .filter(|(_, s)| s.device == device)
-            .map(|(i, _)| Stream(i))
+            .map(|&i| Stream(i))
             .collect()
     }
 

@@ -75,6 +75,53 @@ impl<'a> RankCtx<'a> {
         self.sim.now().as_secs_f64()
     }
 
+    /// Memoize a deterministic setup computation across the world's ranks.
+    ///
+    /// Every rank of a world often derives the *same* pure function of the
+    /// world's geometry during setup (partitions, placements, plan shapes).
+    /// Under the coroutine runtime all ranks share one address space and one
+    /// OS thread, so recomputing it per rank multiplies a milliseconds-scale
+    /// computation by the world size for no semantic benefit. This helper
+    /// runs `build` on the first rank to ask for `key` and hands every later
+    /// caller the shared result.
+    ///
+    /// Correctness contract (the caller's obligations):
+    ///
+    /// * `build` must be **pure compute**: it must not perform simulation
+    ///   operations (no delays, sends, waits — nothing that advances
+    ///   virtual time or yields the run token). The cache lock is held
+    ///   while it runs, and virtual time must not depend on which rank
+    ///   happened to populate the cache.
+    /// * Every rank using `key` must pass a `build` that would produce a
+    ///   value-identical result, so sharing is unobservable.
+    ///
+    /// Panics if `key` was previously populated with a different type.
+    ///
+    /// ```no_run
+    /// # fn partition_for(_w: usize) -> Vec<usize> { Vec::new() }
+    /// # fn demo(ctx: &mpisim::RankCtx) {
+    /// let part = ctx.cached_setup("my-lib/partition", || partition_for(ctx.size()));
+    /// # }
+    /// ```
+    pub fn cached_setup<T, F>(&self, key: &str, build: F) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> T,
+    {
+        let mut cache = self.st.setup_cache.lock();
+        let entry = match cache.get(key) {
+            Some(v) => Arc::clone(v),
+            None => {
+                let v: Arc<dyn Any + Send + Sync> = Arc::new(build());
+                cache.insert(key.to_string(), Arc::clone(&v));
+                v
+            }
+        };
+        entry
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("cached_setup: type mismatch for key {key:?}"))
+    }
+
     // ----- point-to-point ---------------------------------------------------
 
     /// `MPI_Isend`: post a non-blocking send of `buf[off..off+len]`.

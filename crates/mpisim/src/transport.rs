@@ -73,6 +73,9 @@ pub(crate) struct MpiState {
     queues: Mutex<HashMap<MatchKey, MatchQueue>>,
     objs: Mutex<HashMap<MatchKey, ObjQueue>>,
     pub barrier: Mutex<BarrierState>,
+    /// Memoized deterministic setup artifacts shared across the world's
+    /// ranks (see [`RankCtx::cached_setup`](crate::RankCtx::cached_setup)).
+    pub(crate) setup_cache: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
 }
 
 impl MpiState {
@@ -106,6 +109,7 @@ impl MpiState {
                 arrived: 0,
                 release,
             }),
+            setup_cache: Mutex::new(HashMap::new()),
         })
     }
 
