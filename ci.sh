@@ -33,4 +33,8 @@ echo "==> chaos smoke (chaos --quick)"
 ./target/release/chaos --quick --iters 2 --metrics /tmp/chaos_smoke.json
 test -s /tmp/chaos_smoke.json
 
+echo "==> mapper smoke (mapperf --quick --validate)"
+./target/release/mapperf --quick --validate --json /tmp/mapperf_smoke.json
+test -s /tmp/mapperf_smoke.json
+
 echo "==> OK"

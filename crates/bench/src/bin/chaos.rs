@@ -11,6 +11,9 @@
 //! - `degraded-triad`: the healthy placement's busiest NVLink drops to
 //!   10% mid-run; compares no-adaptation, adaptive re-placement, and a
 //!   fresh-optimal rebuild.
+//! - `degraded-fat-node`: the same playbook on a 12-GPU fat node, where
+//!   placement and re-placement run on the ladder's heuristic rung
+//!   instead of exhaustive QAP search.
 //! - `flapping-nic`: one node's NIC repeatedly stalls and recovers.
 //! - `straggler-gpu`: one device's pack/unpack engine runs at 25%.
 //! - `cascading`: triad degradation, then a NIC flap, then a straggler,
@@ -21,7 +24,9 @@
 
 use detsim::SimDuration;
 use faultsim::FaultSchedule;
-use stencil_bench::chaos::{degraded_triad_run, heaviest_triad_pair, TriadMode};
+use stencil_bench::chaos::{
+    degraded_fat_node_run, degraded_triad_run, heaviest_triad_pair, TriadMode,
+};
 use stencil_bench::{
     fmt_ms, measure_exchange, node_aware_placements, write_metrics_json, ExchangeConfig,
 };
@@ -73,6 +78,7 @@ fn parse_args() -> ChaosArgs {
     if parsed.scenarios.is_empty() {
         parsed.scenarios = [
             "degraded-triad",
+            "degraded-fat-node",
             "flapping-nic",
             "straggler-gpu",
             "cascading",
@@ -91,6 +97,7 @@ fn main() {
     for name in &args.scenarios {
         match name.as_str() {
             "degraded-triad" => degraded_triad(&args, &mut last_report),
+            "degraded-fat-node" => degraded_fat_node(&args, &mut last_report),
             "flapping-nic" => flapping_nic(&args, &mut last_report),
             "straggler-gpu" => straggler_gpu(&args, &mut last_report),
             "cascading" => cascading(&args, &mut last_report),
@@ -118,6 +125,50 @@ fn degraded_triad(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsRepo
     let no_adapt = degraded_triad_run(domain, 6, 0.1, warmup, measure, TriadMode::NoAdapt);
     let adapt = degraded_triad_run(domain, 6, 0.1, warmup, measure, TriadMode::Adapt);
     let fresh = degraded_triad_run(domain, 6, 0.1, warmup, measure, TriadMode::FreshOptimal);
+    println!(
+        "  healthy placement, pre-fault : {}",
+        fmt_ms(no_adapt.healthy_mean)
+    );
+    println!(
+        "  stale placement,  post-fault : {}  ({:.2}x healthy)",
+        fmt_ms(no_adapt.degraded_mean),
+        no_adapt.degraded_mean / no_adapt.healthy_mean
+    );
+    println!(
+        "  adaptive re-placement        : {}  (adapted: {})",
+        fmt_ms(adapt.degraded_mean),
+        adapt.adapted
+    );
+    println!(
+        "  fresh-optimal (lower bound)  : {}",
+        fmt_ms(fresh.degraded_mean)
+    );
+    println!(
+        "  adaptation recovers to {:.2}x fresh-optimal; not adapting costs {:.2}x",
+        adapt.degraded_mean / fresh.degraded_mean,
+        no_adapt.degraded_mean / adapt.degraded_mean
+    );
+    if let Some(r) = adapt.metrics {
+        *last_report = Some(r);
+    }
+}
+
+/// The fat-node variant: 12 GPUs per node, so placement and adaptive
+/// re-placement run on the heuristic rung of the solver ladder.
+fn degraded_fat_node(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsReport>) {
+    let domain = if args.quick {
+        [720, 726, 352]
+    } else {
+        [1440, 1452, 704]
+    };
+    let (warmup, measure) = (3, args.iters);
+    println!(
+        "degraded-fat-node: busiest placed NVLink on 1 fat node (12 GPUs, 4 islands) -> 10% bandwidth, domain {}x{}x{}",
+        domain[0], domain[1], domain[2]
+    );
+    let no_adapt = degraded_fat_node_run(domain, 0.1, warmup, measure, TriadMode::NoAdapt);
+    let adapt = degraded_fat_node_run(domain, 0.1, warmup, measure, TriadMode::Adapt);
+    let fresh = degraded_fat_node_run(domain, 0.1, warmup, measure, TriadMode::FreshOptimal);
     println!(
         "  healthy placement, pre-fault : {}",
         fmt_ms(no_adapt.healthy_mean)

@@ -23,9 +23,11 @@ use stencil_core::{
     DomainBuilder, Health, HealthMonitor, Methods, Neighborhood, Partition, Placement,
     PlacementStrategy, Radius,
 };
+use topo::presets::fat_cluster;
 use topo::summit::summit_cluster;
+use topo::ClusterSpec;
 
-use crate::{node_aware_placements, ExchangeConfig};
+use crate::{node_aware_placements_for, ExchangeConfig};
 
 /// Policy for responding to the mid-run triad degradation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +70,20 @@ pub fn heaviest_triad_pair(
     radius: u64,
     quantities: usize,
 ) -> (usize, usize) {
+    heaviest_island_pair(part, placement, radius, quantities, 3)
+}
+
+/// As [`heaviest_triad_pair`], for nodes whose NVLink islands hold
+/// `gpus_per_island` GPUs each (Summit's triads are the 3-GPU case;
+/// [`topo::presets::fat_node`] numbers GPUs island by island, so
+/// `g / gpus_per_island` is the island index on both presets).
+pub fn heaviest_island_pair(
+    part: &Partition,
+    placement: &Placement,
+    radius: u64,
+    quantities: usize,
+    gpus_per_island: usize,
+) -> (usize, usize) {
     let idx = part.node_from_linear(0);
     let w = flow_matrix_bc(
         part,
@@ -78,14 +94,14 @@ pub fn heaviest_triad_pair(
         4,
         Boundary::Periodic,
     );
-    let triad = |g: usize| g / 3;
+    let island = |g: usize| g / gpus_per_island;
     let mut best = (0usize, 1usize);
     let mut best_vol = -1.0f64;
     for (s, row) in w.iter().enumerate() {
         for t in (s + 1)..row.len() {
             let g1 = placement.gpu_for_subdomain[s];
             let g2 = placement.gpu_for_subdomain[t];
-            if g1 == g2 || triad(g1) != triad(g2) {
+            if g1 == g2 || island(g1) != island(g2) {
                 continue;
             }
             let vol = row[t] + w[t][s];
@@ -114,11 +130,78 @@ pub fn degraded_triad_run(
     measure_iters: usize,
     mode: TriadMode,
 ) -> TriadRun {
+    degraded_island_run(
+        summit_cluster(1),
+        3,
+        1.25,
+        domain,
+        ranks_per_node,
+        bandwidth_factor,
+        warmup_iters,
+        measure_iters,
+        mode,
+    )
+}
+
+/// The fat-node variant of the headline scenario: one 12-GPU node
+/// ([`topo::presets::fat_node`]`(2, 2, 3)` — two NVLink islands per
+/// socket), exercising the placement ladder's *heuristic* rung end to end
+/// (12 > `qap::EXHAUSTIVE_MAX_N`, so both the initial placement and
+/// `adapt_placement`'s parallel re-solve run delta-2-opt/multilevel, not
+/// exhaustive search). Detection threshold is lower than the triad run's
+/// because 10 unaffected ranks dilute the degraded pair in the mean.
+pub fn degraded_fat_node_run(
+    domain: [u64; 3],
+    bandwidth_factor: f64,
+    warmup_iters: usize,
+    measure_iters: usize,
+    mode: TriadMode,
+) -> TriadRun {
+    degraded_island_run(
+        fat_cluster(1, 2, 2, 3),
+        3,
+        1.05,
+        domain,
+        12,
+        bandwidth_factor,
+        warmup_iters,
+        measure_iters,
+        mode,
+    )
+}
+
+/// Run the degraded-island scenario on one node of an arbitrary cluster
+/// preset: build under a healthy node-aware placement, degrade the
+/// placement's busiest intra-island NVLink to `bandwidth_factor` ×
+/// nominal mid-run, and respond per `mode`. `monitor_threshold` is the
+/// [`HealthMonitor`] degradation factor (how much the fleet-mean exchange
+/// time must exceed baseline — scale it down for nodes with many
+/// unaffected ranks). See [`degraded_triad_run`] for the Summit headline
+/// configuration.
+#[allow(clippy::too_many_arguments)] // scenario knobs, mirrors degraded_triad_run
+pub fn degraded_island_run(
+    cluster: ClusterSpec,
+    gpus_per_island: usize,
+    monitor_threshold: f64,
+    domain: [u64; 3],
+    ranks_per_node: usize,
+    bandwidth_factor: f64,
+    warmup_iters: usize,
+    measure_iters: usize,
+    mode: TriadMode,
+) -> TriadRun {
     assert!(warmup_iters >= 1 && measure_iters >= 1);
+    let gpn = cluster.node.num_gpus();
     let cfg = ExchangeConfig::new(1, ranks_per_node, 0).domain(domain);
-    let healthy = node_aware_placements(&cfg);
-    let part = Partition::new(domain, 1, 6);
-    let (a, b) = heaviest_triad_pair(&part, &healthy[0], cfg.radius, cfg.quantities);
+    let healthy = node_aware_placements_for(&cfg, &cluster.node);
+    let part = Partition::new(domain, 1, gpn);
+    let (a, b) = heaviest_island_pair(
+        &part,
+        &healthy[0],
+        cfg.radius,
+        cfg.quantities,
+        gpus_per_island,
+    );
     let fault = FaultSchedule::degraded_triad(0, a, b, SimDuration::ZERO, bandwidth_factor);
 
     let num_ranks = ranks_per_node;
@@ -133,7 +216,7 @@ pub fn degraded_triad_run(
         Arc::clone(&adapted_flag),
     );
 
-    let mut world = WorldConfig::new(summit_cluster(1), ranks_per_node)
+    let mut world = WorldConfig::new(cluster, ranks_per_node)
         .data_mode(DataMode::Virtual)
         .metrics(true);
     if mode == TriadMode::FreshOptimal {
@@ -159,7 +242,7 @@ pub fn degraded_triad_run(
         // fault on one link is diluted by the unaffected ranks — 1.25x of
         // baseline is already a large, localized hit (and the simulation is
         // deterministic, so healthy windows sit exactly on the baseline).
-        let mut monitor = HealthMonitor::new(1.25, warmup_iters);
+        let mut monitor = HealthMonitor::new(monitor_threshold, warmup_iters);
 
         let mut mine = Vec::with_capacity(warmup_iters);
         for _ in 0..warmup_iters {

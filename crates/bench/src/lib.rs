@@ -244,16 +244,25 @@ pub fn measure_exchange(cfg: &ExchangeConfig) -> ExchangeResult {
 /// Only topology-derived strategies are supported
 /// ([`PlacementStrategy::Empirical`] needs in-simulation probe transfers).
 pub fn node_aware_placements(cfg: &ExchangeConfig) -> Arc<Vec<Placement>> {
+    node_aware_placements_for(cfg, &summit_node())
+}
+
+/// As [`node_aware_placements`], for an arbitrary node preset (fat nodes,
+/// DGX, workstations) instead of Summit. Node sizes beyond the exhaustive
+/// QAP range solve on the heuristic rungs of the placement ladder.
+pub fn node_aware_placements_for(
+    cfg: &ExchangeConfig,
+    node: &topo::NodeSpec,
+) -> Arc<Vec<Placement>> {
     assert_ne!(
         cfg.placement,
         PlacementStrategy::Empirical,
         "empirical placement probes inside the simulation and cannot be precomputed"
     );
     let domain = cfg.domain.unwrap_or([cfg.extent, cfg.extent, cfg.extent]);
-    let node = summit_node();
     let gpn = node.num_gpus();
     let part = Partition::new(domain, cfg.nodes, gpn);
-    let discovery = NodeDiscovery::discover(&node);
+    let discovery = NodeDiscovery::discover(node);
     let radius = Radius::constant(cfg.radius);
     let mut by_extent: HashMap<stencil_core::Dim3, Placement> = HashMap::new();
     let mut placements = Vec::with_capacity(part.num_nodes());

@@ -219,7 +219,7 @@ impl DistributedDomain {
                             &spec.radius,
                             spec.quantities,
                             spec.elem_size,
-                            false,
+                            PlacementStrategy::Empirical,
                             spec.boundary,
                         )
                     })

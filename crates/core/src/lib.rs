@@ -73,6 +73,7 @@ pub mod empirical;
 mod exchange;
 mod local;
 pub mod method;
+pub mod multilevel;
 pub mod partition;
 pub mod placement;
 pub mod qap;
@@ -86,8 +87,9 @@ pub use domain::{DistributedDomain, DomainBuilder, DomainSpec};
 pub use exchange::{ExchangeHandle, ExchangeTiming};
 pub use local::LocalDomain;
 pub use method::{select, Method, Methods, PairCaps};
+pub use multilevel::{DenseDistance, DistanceOracle, FlowGraph};
 pub use partition::Partition;
-pub use placement::{Placement, PlacementStrategy};
+pub use placement::{map_nodes, node_flow_graph, Placement, PlacementStrategy};
 pub use radius::Radius;
-pub use resilience::{Health, HealthMonitor};
+pub use resilience::{resolve_node_placements, Health, HealthMonitor};
 pub use stats::PlanSummary;

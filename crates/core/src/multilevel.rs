@@ -1,0 +1,761 @@
+//! Hierarchical multilevel QAP mapper — the top rung of the placement
+//! ladder (ROADMAP item 1, after Schulz & Woydt's shared-memory
+//! hierarchical process mapping).
+//!
+//! The dense solvers in [`crate::qap`] stop being practical somewhere
+//! around a few hundred facilities: full 2-opt is O(n²) candidate swaps
+//! per sweep and a dense distance matrix for a 4608-node machine is
+//! 4608² floats (~170 MB). This module scales past both limits:
+//!
+//! 1. **Coarsen** the flow graph by heavy-edge matching (merge the pair
+//!    exchanging the most bytes), and the location set by closest-pair
+//!    matching, halving the instance per level;
+//! 2. **Solve** the coarsest instance (≤ [`qap::EXHAUSTIVE_MAX_N`])
+//!    exhaustively;
+//! 3. **Uncoarsen** level by level, expanding each cluster assignment and
+//!    repairing it with delta-cost 2-opt over a sparse candidate set
+//!    (flow-adjacent pairs + the pairs merged at that level).
+//!
+//! Flow stays sparse throughout ([`FlowGraph`]: a stencil subdomain talks
+//! to ≤ 26 neighbors regardless of machine size), and distances at the
+//! finest level come from a [`DistanceOracle`] — an O(1) switch-hierarchy
+//! computation for global node mapping, never a materialized n² matrix.
+//! Coarse levels are small enough (≤ n/2 per side) that their averaged
+//! distance matrices are materialized dense.
+//!
+//! Everything is deterministic: fixed visit orders, lexicographic
+//! tie-breaks, no RNG. See `docs/PLACEMENT.md` for the invariants.
+
+use crate::qap;
+
+/// Distances between locations, abstracted so the global mapping stage
+/// never materializes an n² matrix. Implementations must be symmetric in
+/// cost intent but may be asymmetric numerically (the solver reads both
+/// directions); `dist(a, a)` must be 0 and entries must be ≥ 0 (`+inf`
+/// for unreachable pairs — never NaN).
+pub trait DistanceOracle {
+    /// Number of locations.
+    fn len(&self) -> usize;
+    /// True when there are no locations.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Distance (reciprocal bandwidth, or hop cost) from `a` to `b`.
+    fn dist(&self, a: usize, b: usize) -> f64;
+}
+
+impl<D: DistanceOracle + ?Sized> DistanceOracle for &D {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn dist(&self, a: usize, b: usize) -> f64 {
+        (**self).dist(a, b)
+    }
+}
+
+/// Dense-matrix oracle over a borrowed distance matrix.
+pub struct DenseDistance<'a>(pub &'a [Vec<f64>]);
+
+impl DistanceOracle for DenseDistance<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn dist(&self, a: usize, b: usize) -> f64 {
+        self.0[a][b]
+    }
+}
+
+impl DistanceOracle for topo::SwitchHierarchy {
+    fn len(&self) -> usize {
+        self.num_nodes()
+    }
+    fn dist(&self, a: usize, b: usize) -> f64 {
+        self.distance(a, b)
+    }
+}
+
+/// Sparse directed flow graph: `adj[i]` holds `(j, w[i][j], w[j][i])` for
+/// every neighbor `j` with traffic in either direction, sorted by `j`.
+/// A 3D stencil facility has at most 26 neighbors however large the
+/// machine, so storage and per-swap work are O(degree), not O(n).
+#[derive(Debug, Clone)]
+pub struct FlowGraph {
+    n: usize,
+    adj: Vec<Vec<(usize, f64, f64)>>,
+}
+
+impl FlowGraph {
+    /// Empty graph over `n` facilities.
+    pub fn new(n: usize) -> Self {
+        FlowGraph {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of facilities.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no facilities.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Accumulate directed flow `w` from `i` to `j` (self-flows ignored:
+    /// they cost `w * d[x][x] = 0` under any assignment).
+    pub fn add_flow(&mut self, i: usize, j: usize, w: f64) {
+        if i == j || w == 0.0 {
+            return;
+        }
+        match self.adj[i].binary_search_by_key(&j, |e| e.0) {
+            Ok(p) => self.adj[i][p].1 += w,
+            Err(p) => self.adj[i].insert(p, (j, w, 0.0)),
+        }
+        match self.adj[j].binary_search_by_key(&i, |e| e.0) {
+            Ok(p) => self.adj[j][p].2 += w,
+            Err(p) => self.adj[j].insert(p, (i, 0.0, w)),
+        }
+    }
+
+    /// Build from a dense flow matrix (diagonal ignored).
+    pub fn from_dense(w: &[Vec<f64>]) -> Self {
+        let mut g = FlowGraph::new(w.len());
+        for (i, row) in w.iter().enumerate() {
+            for (j, &x) in row.iter().enumerate() {
+                g.add_flow(i, j, x);
+            }
+        }
+        g
+    }
+
+    /// Neighbors of `i` as `(j, w[i][j], w[j][i])`, ascending `j`.
+    pub fn neighbors(&self, i: usize) -> &[(usize, f64, f64)] {
+        &self.adj[i]
+    }
+
+    /// Total cost of assignment `f` under `dist`, with the same zero-flow
+    /// guard as [`qap::cost`].
+    pub fn cost(&self, dist: &impl DistanceOracle, f: &[usize]) -> f64 {
+        let mut c = 0.0;
+        for (i, row) in self.adj.iter().enumerate() {
+            for &(j, out, _) in row {
+                if out != 0.0 {
+                    c += out * dist.dist(f[i], f[j]);
+                }
+            }
+        }
+        c
+    }
+}
+
+/// O(deg(r) + deg(s)) cost change of swapping the locations of facilities
+/// `r` and `s` — the sparse counterpart of [`qap::delta_swap`], same
+/// zero-flow guards, same NaN semantics (a NaN delta is never an
+/// improvement).
+pub fn delta_swap_sparse(
+    g: &FlowGraph,
+    dist: &impl DistanceOracle,
+    f: &[usize],
+    r: usize,
+    s: usize,
+) -> f64 {
+    debug_assert_ne!(r, s);
+    let (fr, fs) = (f[r], f[s]);
+    let mut delta = 0.0;
+    for &(k, out, inw) in g.neighbors(r) {
+        if k == s {
+            continue;
+        }
+        let fk = f[k];
+        if out != 0.0 {
+            delta += out * (dist.dist(fs, fk) - dist.dist(fr, fk));
+        }
+        if inw != 0.0 {
+            delta += inw * (dist.dist(fk, fs) - dist.dist(fk, fr));
+        }
+    }
+    for &(k, out, inw) in g.neighbors(s) {
+        if k == r {
+            continue;
+        }
+        let fk = f[k];
+        if out != 0.0 {
+            delta += out * (dist.dist(fr, fk) - dist.dist(fs, fk));
+        }
+        if inw != 0.0 {
+            delta += inw * (dist.dist(fk, fr) - dist.dist(fk, fs));
+        }
+    }
+    if let Ok(p) = g.neighbors(r).binary_search_by_key(&s, |e| e.0) {
+        let (_, wrs, wsr) = g.neighbors(r)[p];
+        if wrs != 0.0 {
+            delta += wrs * (dist.dist(fs, fr) - dist.dist(fr, fs));
+        }
+        if wsr != 0.0 {
+            delta += wsr * (dist.dist(fr, fs) - dist.dist(fs, fr));
+        }
+    }
+    delta
+}
+
+/// First-improvement delta-2-opt sweeps over an explicit candidate-pair
+/// list, in place, until a full sweep finds nothing or `max_passes` is
+/// hit. Deterministic for a fixed candidate order.
+fn refine_candidates(
+    g: &FlowGraph,
+    dist: &impl DistanceOracle,
+    f: &mut [usize],
+    candidates: &[(usize, usize)],
+    max_passes: usize,
+) {
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for &(i, j) in candidates {
+            let delta = delta_swap_sparse(g, dist, f, i, j);
+            if delta < -1e-12 {
+                f.swap(i, j);
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// Candidate swap pairs for refinement: all pairs when the level is small,
+/// otherwise flow-adjacent pairs plus the pairs merged at this level
+/// (`merged`, so cluster orientations can flip). Sorted and deduplicated
+/// for a deterministic sweep order.
+fn candidate_pairs(g: &FlowGraph, merged: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let n = g.len();
+    if n <= ALL_PAIRS_MAX_N {
+        let mut all = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                all.push((i, j));
+            }
+        }
+        return all;
+    }
+    let mut c: Vec<(usize, usize)> = Vec::new();
+    for (i, row) in (0..n).map(|i| (i, g.neighbors(i))) {
+        for &(j, _, _) in row {
+            if i < j {
+                c.push((i, j));
+            }
+        }
+    }
+    for &(a, b) in merged {
+        c.push(if a < b { (a, b) } else { (b, a) });
+    }
+    c.sort_unstable();
+    c.dedup();
+    c
+}
+
+/// Instances up to this size refine over all O(n²) pairs (and the dense
+/// entry point cross-checks against [`qap::solve_greedy_2opt`], which
+/// makes ladder quality monotone by construction). Beyond it, sweeps are
+/// restricted to the sparse candidate set so global mapping stays
+/// near-linear in machine size.
+pub const ALL_PAIRS_MAX_N: usize = 128;
+
+/// Refinement sweep cap per level. Sweeps almost always converge in 2–3
+/// passes; the cap bounds worst-case work without affecting determinism.
+const MAX_REFINE_PASSES: usize = 16;
+
+/// One coarsening level: cluster membership on both sides plus the
+/// materialized coarse instance.
+struct Level {
+    /// `fac_cluster[c] = (a, b)` — facilities merged into coarse facility
+    /// `c` (`a == b` never occurs: padding keeps n even).
+    fac_clusters: Vec<(usize, usize)>,
+    /// `loc_clusters[c] = (p, q)` — locations merged into coarse location
+    /// `c`.
+    loc_clusters: Vec<(usize, usize)>,
+    /// Coarse flow between facility clusters.
+    coarse_flow: FlowGraph,
+    /// Coarse location distances, averaged over the 4 member pairs.
+    coarse_dist: Vec<Vec<f64>>,
+}
+
+/// Heavy-edge matching over the flow graph: visit facilities in index
+/// order, pair each unmatched one with its unmatched neighbor carrying
+/// the most traffic (ties → smallest index), then force-match leftovers
+/// pairwise by index. `n` must be even; returns n/2 pairs `(a, b)` with
+/// `a < b`.
+fn match_facilities(g: &FlowGraph) -> Vec<(usize, usize)> {
+    let n = g.len();
+    debug_assert_eq!(n % 2, 0);
+    let mut mate = vec![usize::MAX; n];
+    let mut pairs = Vec::with_capacity(n / 2);
+    for i in 0..n {
+        if mate[i] != usize::MAX {
+            continue;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for &(j, out, inw) in g.neighbors(i) {
+            if mate[j] != usize::MAX {
+                continue;
+            }
+            let w = out + inw;
+            match best {
+                Some((bw, bj)) if bw > w || (bw == w && bj < j) => {}
+                _ => best = Some((w, j)),
+            }
+        }
+        if let Some((_, j)) = best {
+            mate[i] = j;
+            mate[j] = i;
+            pairs.push((i.min(j), i.max(j)));
+        }
+    }
+    // Force-match the isolated leftovers pairwise by index so both sides
+    // coarsen to exactly n/2 clusters.
+    let mut leftover: Option<usize> = None;
+    for i in 0..n {
+        if mate[i] != usize::MAX {
+            continue;
+        }
+        match leftover.take() {
+            None => leftover = Some(i),
+            Some(a) => {
+                mate[a] = i;
+                mate[i] = a;
+                pairs.push((a, i));
+            }
+        }
+    }
+    debug_assert!(leftover.is_none(), "even n leaves no unmatched facility");
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Closest-pair matching over locations: visit in index order, pair each
+/// unmatched location with the nearest unmatched one (ties → smallest
+/// index). Unreachable distances (`+inf`) still compare, so disconnected
+/// locations pair with each other last. `n` must be even.
+fn match_locations(dist: &impl DistanceOracle) -> Vec<(usize, usize)> {
+    let n = dist.len();
+    debug_assert_eq!(n % 2, 0);
+    let mut mate = vec![usize::MAX; n];
+    let mut pairs = Vec::with_capacity(n / 2);
+    for i in 0..n {
+        if mate[i] != usize::MAX {
+            continue;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        #[allow(clippy::needless_range_loop)] // `j` also feeds dist.dist(i, j)
+        for j in (i + 1)..n {
+            if mate[j] != usize::MAX {
+                continue;
+            }
+            let d = dist.dist(i, j) + dist.dist(j, i);
+            let keep = match best {
+                None => true,
+                Some((bd, _)) => d < bd,
+            };
+            if keep {
+                best = Some((d, j));
+            }
+        }
+        if let Some((_, j)) = best {
+            mate[i] = j;
+            mate[j] = i;
+            pairs.push((i, j));
+        }
+    }
+    pairs
+}
+
+/// Build one coarsening level from the fine instance.
+fn coarsen(g: &FlowGraph, dist: &impl DistanceOracle) -> Level {
+    let fac_clusters = match_facilities(g);
+    let loc_clusters = match_locations(dist);
+    let nc = fac_clusters.len();
+    debug_assert_eq!(loc_clusters.len(), nc);
+
+    // cluster index of each fine facility
+    let mut of = vec![0usize; g.len()];
+    for (c, &(a, b)) in fac_clusters.iter().enumerate() {
+        of[a] = c;
+        of[b] = c;
+    }
+    let mut coarse_flow = FlowGraph::new(nc);
+    for i in 0..g.len() {
+        for &(j, out, _) in g.neighbors(i) {
+            if out != 0.0 && of[i] != of[j] {
+                coarse_flow.add_flow(of[i], of[j], out);
+            }
+        }
+    }
+
+    let mut coarse_dist = vec![vec![0.0f64; nc]; nc];
+    for (ca, &(p0, p1)) in loc_clusters.iter().enumerate() {
+        for (cb, &(q0, q1)) in loc_clusters.iter().enumerate() {
+            if ca == cb {
+                continue;
+            }
+            coarse_dist[ca][cb] = 0.25
+                * (dist.dist(p0, q0) + dist.dist(p0, q1) + dist.dist(p1, q0) + dist.dist(p1, q1));
+        }
+    }
+
+    Level {
+        fac_clusters,
+        loc_clusters,
+        coarse_flow,
+        coarse_dist,
+    }
+}
+
+/// Oracle for an instance padded with one extra location (index
+/// `base.len()`) at a far-but-finite distance from everything — used to
+/// make odd levels even so all clusters are pairs. Holds the base oracle
+/// as `dyn` so padding can occur at any recursion depth without
+/// monomorphizing an ever-deeper wrapper type.
+struct PaddedDistance<'a> {
+    base: &'a dyn DistanceOracle,
+    far: f64,
+}
+
+impl DistanceOracle for PaddedDistance<'_> {
+    fn len(&self) -> usize {
+        self.base.len() + 1
+    }
+    fn dist(&self, a: usize, b: usize) -> f64 {
+        let n = self.base.len();
+        if a == b {
+            0.0
+        } else if a == n || b == n {
+            self.far
+        } else {
+            self.base.dist(a, b)
+        }
+    }
+}
+
+/// A finite distance strictly larger than every finite base distance, so
+/// refinement always prefers real locations but never sees `inf - inf`.
+fn far_distance(dist: &(impl DistanceOracle + ?Sized)) -> f64 {
+    let n = dist.len();
+    let mut m = 1.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let d = dist.dist(i, j);
+            if d.is_finite() && d > m {
+                m = d;
+            }
+        }
+    }
+    m * 4.0
+}
+
+/// Recursive multilevel solve. Odd levels are padded with a zero-flow
+/// facility and a far-but-finite location (coarse sizes can turn odd at
+/// any depth: 30 → 15). Returns the assignment of facilities to
+/// locations.
+fn solve_rec(g: &FlowGraph, dist: &dyn DistanceOracle, depth: usize) -> Vec<usize> {
+    let n = g.len();
+    debug_assert_eq!(dist.len(), n);
+    if n <= qap::EXHAUSTIVE_MAX_N {
+        // Densify: trivially cheap at this size.
+        let mut w = vec![vec![0.0f64; n]; n];
+        for (i, row) in w.iter_mut().enumerate() {
+            for &(j, out, _) in g.neighbors(i) {
+                row[j] = out;
+            }
+        }
+        let d: Vec<Vec<f64>> = (0..n)
+            .map(|a| (0..n).map(|b| dist.dist(a, b)).collect())
+            .collect();
+        return qap::solve_exhaustive(&w, &d).0;
+    }
+    // Depth guard: every two levels at least halve n (pad adds 1, the
+    // matching then halves), so 64 levels covers any usize.
+    assert!(depth < 64, "multilevel recursion failed to shrink");
+
+    if n % 2 == 1 {
+        // Pad, solve even, strip. The dummy facility costs nothing
+        // wherever it sits, so parking it on the dummy location and
+        // handing its real location to whoever held the dummy one is
+        // cost-neutral for the dummy and never worse for the displaced
+        // facility (the dummy location is the farthest by construction).
+        let mut padded = g.clone();
+        padded.adj.push(Vec::new());
+        padded.n = n + 1;
+        let pdist = PaddedDistance {
+            base: dist,
+            far: far_distance(dist),
+        };
+        let mut f = solve_rec(&padded, &pdist, depth + 1);
+        let dummy_loc = f[n];
+        if dummy_loc != n {
+            let holder = f.iter().position(|&l| l == n).expect("bijection");
+            f[holder] = dummy_loc;
+        }
+        f.truncate(n);
+        // One more repair pass on the real instance after the strip.
+        let candidates = candidate_pairs(g, &[]);
+        refine_candidates(g, &dist, &mut f, &candidates, MAX_REFINE_PASSES);
+        return f;
+    }
+
+    let level = coarsen(g, &dist);
+    let coarse_assign = solve_rec(
+        &level.coarse_flow,
+        &DenseDistance(&level.coarse_dist),
+        depth + 1,
+    );
+
+    // Expand: both members of a facility cluster land on the two members
+    // of its assigned location cluster, in index order (the refinement
+    // pass below flips orientations that matter).
+    let mut f = vec![0usize; n];
+    let mut merged = Vec::with_capacity(level.fac_clusters.len());
+    for (c, &(a, b)) in level.fac_clusters.iter().enumerate() {
+        let (p, q) = level.loc_clusters[coarse_assign[c]];
+        f[a] = p;
+        f[b] = q;
+        merged.push((a, b));
+    }
+    let candidates = candidate_pairs(g, &merged);
+    refine_candidates(g, &dist, &mut f, &candidates, MAX_REFINE_PASSES);
+    f
+}
+
+/// Solve a (possibly huge) sparse QAP instance with the multilevel
+/// mapper. Flow is a sparse graph; distances come from the oracle (never
+/// materialized at the finest level). Deterministic. Returns the
+/// assignment `f[facility] = location` — compute its cost with
+/// [`FlowGraph::cost`] if needed.
+///
+/// # Panics
+/// If `flow.len() != dist.len()`.
+pub fn solve_sparse(flow: &FlowGraph, dist: &impl DistanceOracle) -> Vec<usize> {
+    let n = flow.len();
+    assert_eq!(n, dist.len(), "facility and location counts must agree");
+    if n == 0 {
+        return Vec::new();
+    }
+    solve_rec(flow, dist, 0)
+}
+
+/// Dense entry point used by [`qap::solve`]'s top ladder rung: runs the
+/// multilevel mapper and, on instances up to [`ALL_PAIRS_MAX_N`],
+/// cross-checks against [`qap::solve_greedy_2opt`] and keeps the better
+/// result — which makes the ladder's quality monotone by construction
+/// (hierarchical ≤ greedy ≤ trivial). Instances within
+/// [`qap::EXHAUSTIVE_MAX_N`] are solved exhaustively, so the multilevel
+/// rung matches the exhaustive one exactly there.
+pub fn solve_multilevel(w: &[Vec<f64>], d: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = w.len();
+    assert_eq!(d.len(), n);
+    if n <= qap::EXHAUSTIVE_MAX_N {
+        return qap::solve_exhaustive(w, d);
+    }
+    let g = FlowGraph::from_dense(w);
+    let f = solve_sparse(&g, &DenseDistance(d));
+    let c = qap::cost(w, d, &f);
+    if n <= ALL_PAIRS_MAX_N {
+        qap::better((f, c), qap::solve_greedy_2opt(w, d))
+    } else {
+        (f, c)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // matrix-builder loops index two sides
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        }
+    }
+
+    fn random_instance(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut rnd = lcg(seed);
+        let mut w = vec![vec![0.0; n]; n];
+        let mut d = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    w[i][j] = (rnd() * 10.0).floor();
+                    d[i][j] = rnd() + 0.01;
+                }
+            }
+        }
+        (w, d)
+    }
+
+    fn assert_perm(f: &[usize], n: usize) {
+        let mut s = f.to_vec();
+        s.sort_unstable();
+        assert_eq!(s, (0..n).collect::<Vec<_>>(), "not a permutation: {f:?}");
+    }
+
+    #[test]
+    fn sparse_cost_matches_dense() {
+        for seed in 0..6u64 {
+            let n = 5 + seed as usize;
+            let (w, d) = random_instance(n, seed * 31 + 7);
+            let g = FlowGraph::from_dense(&w);
+            let mut f: Vec<usize> = (0..n).collect();
+            f.rotate_left(seed as usize % n);
+            let dense = qap::cost(&w, &d, &f);
+            let sparse = g.cost(&DenseDistance(&d), &f);
+            assert!((dense - sparse).abs() < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_delta_matches_dense_delta() {
+        for seed in 0..10u64 {
+            let n = 4 + seed as usize % 7;
+            let (w, d) = random_instance(n, seed * 57 + 3);
+            let g = FlowGraph::from_dense(&w);
+            let mut f: Vec<usize> = (0..n).collect();
+            f.rotate_left(1);
+            for r in 0..n {
+                for s in (r + 1)..n {
+                    let dd = qap::delta_swap(&w, &d, &f, r, s);
+                    let ds = delta_swap_sparse(&g, &DenseDistance(&d), &f, r, s);
+                    assert!(
+                        (dd - ds).abs() < 1e-9 * (1.0 + dd.abs()),
+                        "seed {seed} swap ({r},{s}): {dd} vs {ds}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_within_exhaustive_range() {
+        for n in 2..=qap::EXHAUSTIVE_MAX_N.min(6) {
+            for seed in 0..4u64 {
+                let (w, d) = random_instance(n, seed * 91 + n as u64);
+                let (fe, ce) = qap::solve_exhaustive(&w, &d);
+                let (fm, cm) = solve_multilevel(&w, &d);
+                assert_eq!(fe, fm, "n={n} seed={seed}");
+                assert_eq!(ce.to_bits(), cm.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn valid_permutation_odd_and_even() {
+        for n in [9usize, 10, 13, 16, 24, 33] {
+            let (w, d) = random_instance(n, n as u64 * 7 + 1);
+            let (f, c) = solve_multilevel(&w, &d);
+            assert_perm(&f, n);
+            assert!(c.is_finite());
+        }
+    }
+
+    #[test]
+    fn never_worse_than_greedy_or_trivial() {
+        for n in [9usize, 12, 17, 25, 40] {
+            for seed in 0..3u64 {
+                let (w, d) = random_instance(n, seed * 13 + n as u64);
+                let (_, cm) = solve_multilevel(&w, &d);
+                let (_, cg) = qap::solve_greedy_2opt(&w, &d);
+                let triv: Vec<usize> = (0..n).collect();
+                let ct = qap::cost(&w, &d, &triv);
+                assert!(cm <= cg + 1e-9, "n={n} seed={seed}: {cm} vs greedy {cg}");
+                assert!(cm <= ct + 1e-9, "n={n} seed={seed}: {cm} vs trivial {ct}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (w, d) = random_instance(30, 424242);
+        let (fa, ca) = solve_multilevel(&w, &d);
+        let (fb, cb) = solve_multilevel(&w, &d);
+        assert_eq!(fa, fb);
+        assert_eq!(ca.to_bits(), cb.to_bits());
+    }
+
+    /// Two heavy 4-cliques of flow must land on the two tight location
+    /// clusters — the structure coarsening is designed to expose.
+    #[test]
+    fn clustered_flow_lands_on_clustered_locations() {
+        let n = 16;
+        let mut w = vec![vec![0.0; n]; n];
+        // facilities 0..4 and 8..12 are two heavy cliques
+        for group in [0usize, 8] {
+            for i in group..group + 4 {
+                for j in group..group + 4 {
+                    if i != j {
+                        w[i][j] = 100.0;
+                    }
+                }
+            }
+        }
+        // light all-to-all background
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && w[i][j] == 0.0 {
+                    w[i][j] = 0.5;
+                }
+            }
+        }
+        // locations 0..4 and 4..8 are cheap islands; everything else far
+        let mut d = vec![vec![10.0; n]; n];
+        for island in [0usize, 4] {
+            for a in island..island + 4 {
+                for b in island..island + 4 {
+                    d[a][b] = if a == b { 0.0 } else { 1.0 };
+                }
+            }
+        }
+        for (a, row) in d.iter_mut().enumerate() {
+            row[a] = 0.0;
+        }
+        let (f, _) = solve_multilevel(&w, &d);
+        assert_perm(&f, n);
+        for group in [0usize, 8] {
+            let islands: Vec<usize> = (group..group + 4).map(|i| f[i] / 4).collect();
+            assert!(
+                islands.iter().all(|&x| x == islands[0] && x < 2),
+                "clique at {group} split across islands: {islands:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_flow_facility_absorbs_unreachable_location() {
+        let n = 10;
+        let mut w = vec![vec![0.0; n]; n];
+        for i in 0..n - 1 {
+            for j in 0..n - 1 {
+                if i != j {
+                    w[i][j] = 1.0 + ((i * 3 + j) % 5) as f64;
+                }
+            }
+        }
+        // facility n-1 exchanges nothing; location n-1 is unreachable.
+        let mut d = vec![vec![1.0; n]; n];
+        for (a, row) in d.iter_mut().enumerate() {
+            row[a] = 0.0;
+            row[n - 1] = f64::INFINITY;
+        }
+        for b in 0..n {
+            d[n - 1][b] = f64::INFINITY;
+        }
+        d[n - 1][n - 1] = 0.0;
+        let (f, c) = solve_multilevel(&w, &d);
+        assert_perm(&f, n);
+        assert_eq!(f[n - 1], n - 1, "dead location goes to the silent facility");
+        assert!(c.is_finite());
+    }
+}

@@ -7,17 +7,27 @@
 //! and whose distance matrix is the reciprocal of the discovered
 //! GPU-to-GPU bandwidth.
 
-use topo::NodeDiscovery;
+use topo::{NodeDiscovery, SwitchHierarchy};
 
 use crate::dim3::{Boundary, Idx3, Neighborhood};
+use crate::multilevel::{self, FlowGraph};
 use crate::partition::Partition;
 use crate::qap;
 use crate::radius::Radius;
 
-/// How to assign subdomains to GPUs within each node.
+/// How to assign subdomains to GPUs within each node. The solver rungs
+/// form a ladder (`docs/PLACEMENT.md`): exhaustive for small nodes,
+/// delta-cost 2-opt for fat ones, hierarchical multilevel beyond that —
+/// [`PlacementStrategy::NodeAware`] picks the rung automatically by
+/// instance size, while [`PlacementStrategy::GreedySwap`] and
+/// [`PlacementStrategy::Hierarchical`] pin a specific rung (benchmarking
+/// and quality/latency trade-off studies).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum PlacementStrategy {
-    /// QAP on exchange volume × reciprocal bandwidth (the paper's method).
+    /// QAP on exchange volume × reciprocal bandwidth (the paper's method),
+    /// solved by the ladder rung appropriate to the node size: exhaustive
+    /// for ≤ [`qap::EXHAUSTIVE_MAX_N`] GPUs, hierarchical multilevel
+    /// beyond.
     #[default]
     NodeAware,
     /// Linearize the subdomain index and assign to GPUs in order (the
@@ -25,8 +35,34 @@ pub enum PlacementStrategy {
     Trivial,
     /// QAP on exchange volume × reciprocal *measured* bandwidth: timed probe
     /// transfers at setup replace the NVML-class inference (the paper's §VI
-    /// future-work item; see [`crate::empirical`]).
+    /// future-work item; see [`crate::empirical`]). Uses the same
+    /// size-dispatched solver ladder as `NodeAware`.
     Empirical,
+    /// Force the delta-cost 2-opt local-search rung
+    /// ([`qap::solve_greedy_2opt`]) regardless of node size.
+    GreedySwap,
+    /// Force the hierarchical multilevel rung
+    /// ([`multilevel::solve_multilevel`]) regardless of node size.
+    Hierarchical,
+}
+
+impl PlacementStrategy {
+    /// Run this strategy's solver rung on an explicit QAP instance.
+    /// `NodeAware` and `Empirical` dispatch by size (they differ only in
+    /// where the distance matrix comes from, which is the caller's
+    /// business).
+    pub fn solve(self, w: &[Vec<f64>], d: &[Vec<f64>]) -> (Vec<usize>, f64) {
+        match self {
+            PlacementStrategy::NodeAware | PlacementStrategy::Empirical => qap::solve(w, d),
+            PlacementStrategy::Trivial => {
+                let f: Vec<usize> = (0..w.len()).collect();
+                let c = qap::cost(w, d, &f);
+                (f, c)
+            }
+            PlacementStrategy::GreedySwap => qap::solve_greedy_2opt(w, d),
+            PlacementStrategy::Hierarchical => multilevel::solve_multilevel(w, d),
+        }
+    }
 }
 
 /// The per-node assignment of GPU subdomains to physical GPUs.
@@ -136,14 +172,14 @@ pub fn place(
         radius,
         quantities,
         elem_size,
-        strategy == PlacementStrategy::Trivial,
+        strategy,
         bc,
     )
 }
 
 /// Compute the placement for node `n` against an explicit distance matrix
-/// (e.g. one built from measured bandwidths, [`crate::empirical`]). With
-/// `trivial`, the identity assignment is used and only its cost computed.
+/// (e.g. one built from measured bandwidths, [`crate::empirical`]),
+/// solving with `strategy`'s ladder rung.
 #[allow(clippy::too_many_arguments)] // mirrors `place`
 pub fn place_with_distance(
     part: &Partition,
@@ -153,19 +189,13 @@ pub fn place_with_distance(
     radius: &Radius,
     quantities: usize,
     elem_size: usize,
-    trivial: bool,
+    strategy: PlacementStrategy,
     bc: Boundary,
 ) -> Placement {
     let g = part.gpus_per_node();
     assert_eq!(g, d.len(), "distance matrix must cover the node's GPUs");
     let w = flow_matrix_bc(part, n, neighborhood, radius, quantities, elem_size, bc);
-    let (assignment, cost) = if trivial {
-        let f: Vec<usize> = (0..g).collect();
-        let c = qap::cost(&w, d, &f);
-        (f, c)
-    } else {
-        qap::solve(&w, d)
-    };
+    let (assignment, cost) = strategy.solve(&w, d);
     let mut inverse = vec![0usize; g];
     for (s, &gpu) in assignment.iter().enumerate() {
         inverse[gpu] = s;
@@ -175,6 +205,67 @@ pub fn place_with_distance(
         subdomain_for_gpu: inverse,
         cost,
     }
+}
+
+/// Pairwise exchange volume in bytes between *nodes*: the sparse flow
+/// graph whose vertex `p` is the node with linear index `p` and whose
+/// edge weights are the total bytes crossing each node boundary per
+/// exchange — the instance the global mapping stage solves. A node talks
+/// to at most 26 neighbors under `Full26`, so the graph is sparse at any
+/// machine size.
+pub fn node_flow_graph(
+    part: &Partition,
+    neighborhood: Neighborhood,
+    radius: &Radius,
+    quantities: usize,
+    elem_size: usize,
+    bc: Boundary,
+) -> FlowGraph {
+    let mut g = FlowGraph::new(part.num_nodes());
+    for (ni, gi) in part.all_subdomains() {
+        let src = part.node_linear(ni);
+        let b = part.gpu_box(ni, gi);
+        for d in neighborhood.directions() {
+            let Some((nn, _)) = part.neighbor_bc(ni, gi, d, bc) else {
+                continue;
+            };
+            if nn == ni {
+                continue; // intra-node flow doesn't inform node mapping
+            }
+            let e = radius.halo_extent(b.extent, d);
+            let bytes = e[0] * e[1] * e[2] * quantities as u64 * elem_size as u64;
+            g.add_flow(src, part.node_linear(nn), bytes as f64);
+        }
+    }
+    g
+}
+
+/// Topology-aware global mapping stage: assign the partition's node
+/// subdomains to physical nodes of a switch hierarchy with the multilevel
+/// mapper, replacing the implicit identity (blind recursive-bisection
+/// order) mapping. Returns `node_for_subdomain[p]` = physical node
+/// hosting the node subdomain with linear index `p`. Deterministic, O(1)
+/// distance queries, no dense n² matrix — practical at full-machine scale
+/// (4608 nodes in seconds; see `mapperf`).
+///
+/// # Panics
+/// If `hierarchy.num_nodes() != part.num_nodes()`.
+pub fn map_nodes(
+    part: &Partition,
+    neighborhood: Neighborhood,
+    radius: &Radius,
+    quantities: usize,
+    elem_size: usize,
+    bc: Boundary,
+    hierarchy: &SwitchHierarchy,
+) -> Vec<usize> {
+    assert_eq!(
+        hierarchy.num_nodes(),
+        part.num_nodes(),
+        "switch hierarchy must cover exactly the partition's nodes"
+    );
+    let flow = node_flow_graph(part, neighborhood, radius, quantities, elem_size, bc);
+    multilevel::solve_sparse(&flow, hierarchy)
 }
 
 #[cfg(test)]

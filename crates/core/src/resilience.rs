@@ -24,11 +24,14 @@ use detsim::Completion;
 use gpusim::Buffer;
 use mpisim::{RankCtx, Request};
 
+use crate::dim3::{Boundary, Neighborhood};
 use crate::domain::DistributedDomain;
 use crate::empirical::{distance_from_measured, measure_node_bandwidths, DEFAULT_PROBE_BYTES};
 use crate::exchange::build_plans;
 use crate::local::LocalDomain;
-use crate::placement::place_with_distance;
+use crate::partition::Partition;
+use crate::placement::{place_with_distance, Placement, PlacementStrategy};
+use crate::radius::Radius;
 
 /// Setup-channel tag for the adaptive re-placement all-gather (outside the
 /// exchange-plan tag space `sid * 32 + dir` and the probe broadcast tag
@@ -165,6 +168,64 @@ impl HealthMonitor {
     }
 }
 
+/// Re-solve every node's placement QAP against its measured distance
+/// matrix (`rank_distances[n * ranks_per_node]` is node `n`'s matrix), in
+/// parallel across up to `threads` OS threads.
+///
+/// This is pure compute — no simulator interaction, no virtual time — so
+/// it is safe to run from inside a rank fiber; the event loop simply
+/// doesn't advance while it runs. Each node's solve writes into its own
+/// index-ordered slot and each solve is independently deterministic
+/// ([`PlacementStrategy::solve`] has no cross-instance state), so the
+/// result is **bit-identical** to the serial loop (`threads == 1`)
+/// regardless of thread count or interleaving — committed virtual times
+/// downstream cannot diverge. Pinned by `tests/parallel_resolve.rs`.
+#[allow(clippy::too_many_arguments)] // mirrors place_with_distance
+pub fn resolve_node_placements(
+    part: &Partition,
+    neighborhood: Neighborhood,
+    radius: &Radius,
+    quantities: usize,
+    elem_size: usize,
+    boundary: Boundary,
+    rank_distances: &[Vec<Vec<f64>>],
+    ranks_per_node: usize,
+    threads: usize,
+) -> Vec<Placement> {
+    let num_nodes = part.num_nodes();
+    assert!(rank_distances.len() >= num_nodes * ranks_per_node);
+    let mut out: Vec<Option<Placement>> = vec![None; num_nodes];
+    let threads = threads.clamp(1, num_nodes.max(1));
+    let chunk = num_nodes.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, slots) in out.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            s.spawn(move || {
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    let n = start + off;
+                    let idx = part.node_from_linear(n);
+                    *slot = Some(place_with_distance(
+                        part,
+                        idx,
+                        &rank_distances[n * ranks_per_node],
+                        neighborhood,
+                        radius,
+                        quantities,
+                        elem_size,
+                        // Measured matrices use the size-dispatched ladder:
+                        // exhaustive on thin nodes, multilevel on fat ones.
+                        PlacementStrategy::Empirical,
+                        boundary,
+                    ));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|p| p.expect("every chunk filled its slots"))
+        .collect()
+}
+
 impl DistributedDomain {
     /// Adaptive re-placement (collective): re-probe empirical bandwidths,
     /// re-solve the per-node QAP against the measured (possibly degraded)
@@ -194,23 +255,24 @@ impl DistributedDomain {
         let d = distance_from_measured(&bw);
         let all: Vec<Vec<Vec<f64>>> = ctx.all_gather_obj(ADAPT_BW_TAG, d);
 
-        // Re-solve the QAP per node against its own measured matrix. Inputs
-        // are identical on every rank, so the solves are too.
-        let mut new_placements = Vec::with_capacity(self.part.num_nodes());
-        for n in 0..self.part.num_nodes() {
-            let idx = self.part.node_from_linear(n);
-            new_placements.push(place_with_distance(
-                &self.part,
-                idx,
-                &all[n * rpn],
-                self.spec.neighborhood,
-                &self.spec.radius,
-                self.spec.quantities,
-                self.spec.elem_size,
-                false,
-                self.spec.boundary,
-            ));
-        }
+        // Re-solve the QAP per node against its own measured matrix, in
+        // parallel across OS threads (solver-only work outside the event
+        // loop; deterministic slot-ordered reduction). Inputs are identical
+        // on every rank, so the solves are too.
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let new_placements = resolve_node_placements(
+            &self.part,
+            self.spec.neighborhood,
+            &self.spec.radius,
+            self.spec.quantities,
+            self.spec.elem_size,
+            self.spec.boundary,
+            &all,
+            rpn,
+            threads,
+        );
 
         // Compare assignments, not costs: the cost is measured against the
         // new matrix and differs even when the assignment is unchanged.

@@ -75,6 +75,83 @@ pub fn pcie_workstation_cluster(gpus: usize) -> ClusterSpec {
     }
 }
 
+/// A generalized Summit-style fat node: `sockets` CPUs chained by X-Bus,
+/// each carrying `islands_per_socket` NVLink islands of `gpus_per_island`
+/// GPUs. Within an island every GPU pair has a direct NVLink and each GPU
+/// links to its socket; islands on the same socket (and across sockets)
+/// talk through the CPUs, which `NodeDiscovery` classifies as `Sys`.
+/// GPUs are numbered island by island, so `gpu / gpus_per_island` is the
+/// island index — `fat_node(2, 1, 3)` is topologically a Summit node, and
+/// `fat_node(2, 4, 8)` is the 64-GPU ceiling the placement ladder's
+/// heuristic rungs exist for (ROADMAP item 1).
+pub fn fat_node(sockets: usize, islands_per_socket: usize, gpus_per_island: usize) -> NodeSpec {
+    assert!(sockets > 0 && islands_per_socket > 0 && gpus_per_island > 0);
+    let mut n = NodeSpec::new("fat");
+    let us1 = SimDuration::from_micros(1);
+    let cpus: Vec<_> = (0..sockets).map(|_| n.add_cpu()).collect();
+    for pair in cpus.windows(2) {
+        n.link(
+            pair[0],
+            pair[1],
+            LinkKind::XBus,
+            crate::summit::XBUS_BW,
+            us1,
+        );
+    }
+    for &cpu in &cpus {
+        for _ in 0..islands_per_socket {
+            let island: Vec<_> = (0..gpus_per_island).map(|_| n.add_gpu()).collect();
+            for &g in &island {
+                n.link(g, cpu, LinkKind::NvLink, crate::summit::NVLINK_BW, us1);
+            }
+            for i in 0..gpus_per_island {
+                for j in (i + 1)..gpus_per_island {
+                    n.link(
+                        island[i],
+                        island[j],
+                        LinkKind::NvLink,
+                        crate::summit::NVLINK_BW,
+                        us1,
+                    );
+                }
+            }
+        }
+    }
+    let nic = n.add_nic();
+    n.link(
+        nic,
+        cpus[0],
+        LinkKind::Pcie,
+        crate::summit::PCIE_NIC_BW,
+        us1,
+    );
+    if sockets > 1 {
+        n.link(
+            nic,
+            cpus[sockets - 1],
+            LinkKind::Pcie,
+            crate::summit::PCIE_NIC_BW,
+            us1,
+        );
+    }
+    n
+}
+
+/// A cluster of fat nodes on a non-blocking switch.
+pub fn fat_cluster(
+    num_nodes: usize,
+    sockets: usize,
+    islands_per_socket: usize,
+    gpus_per_island: usize,
+) -> ClusterSpec {
+    ClusterSpec {
+        node: fat_node(sockets, islands_per_socket, gpus_per_island),
+        num_nodes,
+        injection_bandwidth: crate::summit::NIC_BW,
+        switch_latency: SimDuration::from_nanos(1500),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +190,58 @@ mod tests {
     fn presets_have_nics_for_clustering() {
         assert_eq!(dgx_cluster(4).total_gpus(), 32);
         assert_eq!(pcie_workstation_cluster(4).total_gpus(), 4);
+        assert_eq!(fat_cluster(2, 2, 4, 8).total_gpus(), 128);
+    }
+
+    #[test]
+    fn fat_node_matches_summit_shape_at_2x1x3() {
+        let d = NodeDiscovery::discover(&fat_node(2, 1, 3));
+        let s = NodeDiscovery::discover(&crate::summit::summit_node());
+        assert_eq!(d.num_gpus(), 6);
+        for a in 0..6 {
+            for b in 0..6 {
+                if a != b {
+                    assert_eq!(d.p2p_class(a, b), s.p2p_class(a, b), "{a}-{b}");
+                    assert_eq!(d.bandwidth(a, b), s.bandwidth(a, b), "{a}-{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fat_node_islands_are_nvlink_rest_sys() {
+        let node = fat_node(2, 2, 3); // 12 GPUs, islands {0..3},{3..6},{6..9},{9..12}
+        let d = NodeDiscovery::discover(&node);
+        assert_eq!(d.num_gpus(), 12);
+        for a in 0..12 {
+            for b in 0..12 {
+                if a == b {
+                    continue;
+                }
+                let expect = if a / 3 == b / 3 {
+                    P2PClass::NvLinkDirect
+                } else {
+                    P2PClass::Sys
+                };
+                assert_eq!(d.p2p_class(a, b), expect, "{a}-{b}");
+            }
+        }
+        // same-socket cross-island routes stay on one CPU; cross-socket
+        // routes cross the X-Bus.
+        let r = node.route(node.gpu(0), node.gpu(4)).unwrap();
+        assert!(!r.iter().any(|&li| node.links[li].kind == LinkKind::XBus));
+        let r = node.route(node.gpu(0), node.gpu(7)).unwrap();
+        assert!(r.iter().any(|&li| node.links[li].kind == LinkKind::XBus));
+    }
+
+    #[test]
+    fn fat_node_64_gpus_discovers() {
+        let d = NodeDiscovery::discover(&fat_node(2, 4, 8));
+        assert_eq!(d.num_gpus(), 64);
+        assert_eq!(d.p2p_class(0, 7), P2PClass::NvLinkDirect);
+        assert_eq!(d.p2p_class(0, 8), P2PClass::Sys);
+        let m = d.distance_matrix();
+        assert_eq!(m.len(), 64);
+        assert!(m[0][7] < m[0][8]);
     }
 }
