@@ -37,4 +37,8 @@ echo "==> mapper smoke (mapperf --quick --validate)"
 ./target/release/mapperf --quick --validate --json /tmp/mapperf_smoke.json
 test -s /tmp/mapperf_smoke.json
 
+echo "==> service smoke (loadgen --quick --validate)"
+./target/release/loadgen --quick --validate --json /tmp/loadgen_smoke.json
+test -s /tmp/loadgen_smoke.json
+
 echo "==> OK"

@@ -1,0 +1,406 @@
+//! loadgen — throughput/latency benchmark for the job service (`svc`).
+//!
+//! Stands up a [`svc::Service`] with a bounded worker pool, submits N
+//! concurrent jobs from four tenants across a mix of spec templates
+//! (interactive workstation probes, Summit sweep rows, fat-node batch
+//! jobs, chaos scenarios with injected faults), waits for all of them,
+//! and reports service throughput (jobs/sec) and the p50/p99 of the
+//! submit→completion latency. Every template repeats, so the run doubles
+//! as a determinism audit: results are persisted to a JSONL store and
+//! grouped by workload digest, and every group must be bit-identical.
+//!
+//! Flags:
+//! * `--quick`      small shapes and fewer jobs (CI smoke).
+//! * `--jobs N`     total jobs to submit (default 64; quick default 16).
+//! * `--workers N`  worker pool size (default: up to 8 cores).
+//! * `--json PATH`  write the results artifact (see `BENCH_pr8.json`).
+//! * `--validate`   exit non-zero unless the service held its contract:
+//!   every job completed (no rejections, timeouts, panics) and every
+//!   repeated workload was bit-identical.
+//!
+//! `BENCH_pr8.json` at the repo root was produced by `loadgen --jobs 64
+//! --json BENCH_pr8.json`; see `docs/PERFORMANCE.md`.
+
+use svc::{ClusterPreset, FaultScenario, JobSpec, ResultStore, Service, ServiceConfig};
+
+struct Args {
+    quick: bool,
+    jobs: Option<usize>,
+    workers: Option<usize>,
+    json: Option<String>,
+    validate: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        jobs: None,
+        workers: None,
+        json: None,
+        validate: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let operand = |i: usize| -> String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", argv[i]))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--quick" => {
+                args.quick = true;
+                i += 1;
+            }
+            "--jobs" => {
+                args.jobs = Some(operand(i).parse().expect("--jobs N"));
+                i += 2;
+            }
+            "--workers" => {
+                args.workers = Some(operand(i).parse().expect("--workers N"));
+                i += 2;
+            }
+            "--json" => {
+                args.json = Some(operand(i));
+                i += 2;
+            }
+            "--validate" => {
+                args.validate = true;
+                i += 1;
+            }
+            other => panic!(
+                "unknown flag {other} (expected --quick / --jobs N / --workers N / --json PATH / --validate)"
+            ),
+        }
+    }
+    args
+}
+
+/// The mixed tenant/template pool. Extents shrink under `--quick` so the
+/// smoke finishes in seconds; the shapes and tenant mix stay the same.
+fn templates(quick: bool) -> Vec<JobSpec> {
+    let e = |full: u64, small: u64| if quick { small } else { full };
+    vec![
+        // "interactive": small workstation probes, weight 4 (latency-
+        // sensitive tenant gets the largest fair share).
+        JobSpec::new(
+            "interactive",
+            ClusterPreset::Workstation { gpus: 2 },
+            2,
+            [e(192, 64); 3],
+        )
+        .weight(4)
+        .iters(2),
+        JobSpec::new(
+            "interactive",
+            ClusterPreset::Workstation { gpus: 4 },
+            4,
+            [e(256, 96); 3],
+        )
+        .weight(4)
+        .iters(2),
+        // "sweep": paper-style Summit rows, weight 2.
+        JobSpec::new(
+            "sweep",
+            ClusterPreset::Summit { nodes: 1 },
+            6,
+            [e(384, 96); 3],
+        )
+        .weight(2)
+        .iters(2),
+        JobSpec::new(
+            "sweep",
+            ClusterPreset::Summit { nodes: 2 },
+            6,
+            [e(384, 128); 3],
+        )
+        .weight(2)
+        .cuda_aware(true)
+        .consolidate(true)
+        .iters(2),
+        JobSpec::new(
+            "sweep",
+            ClusterPreset::Summit { nodes: 2 },
+            6,
+            [e(256, 96); 3],
+        )
+        .weight(2)
+        .placement(stencil_core::PlacementStrategy::Hierarchical)
+        .iters(2),
+        // "batch": bigger nodes, slower placements, metrics on.
+        JobSpec::new("batch", ClusterPreset::Dgx { nodes: 1 }, 8, [e(256, 96); 3])
+            .placement(stencil_core::PlacementStrategy::GreedySwap)
+            .collect_metrics(true)
+            .iters(2),
+        JobSpec::new(
+            "batch",
+            ClusterPreset::Fat {
+                nodes: 1,
+                sockets: 2,
+                islands_per_socket: 2,
+                gpus_per_island: 2,
+            },
+            8,
+            [e(256, 96); 3],
+        )
+        .iters(2),
+        // "chaos": fault-injected runs.
+        JobSpec::new(
+            "chaos",
+            ClusterPreset::Summit { nodes: 1 },
+            6,
+            [e(256, 96); 3],
+        )
+        .faults(FaultScenario::StragglerGpu {
+            device: 2,
+            at_us: 0,
+            speed_factor: 0.25,
+        })
+        .iters(2),
+        JobSpec::new(
+            "chaos",
+            ClusterPreset::Summit { nodes: 2 },
+            6,
+            [e(256, 96); 3],
+        )
+        .faults(FaultScenario::FlappingNic {
+            node: 0,
+            first_down_us: 100,
+            down_us: 500,
+            up_us: 250,
+            flaps: 3,
+        })
+        .iters(4),
+    ]
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct TenantRow {
+    tenant: String,
+    jobs: usize,
+    mean_queue_ms: f64,
+    mean_run_ms: f64,
+    p99_total_ms: f64,
+}
+
+/// The run-level numbers that land in the JSON artifact.
+struct RunSummary<'a> {
+    quick: bool,
+    jobs: usize,
+    workers: usize,
+    wall_s: f64,
+    jobs_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    rows: &'a [TenantRow],
+    digest_groups: usize,
+    bit_identical: bool,
+}
+
+fn write_json(path: &str, run: &RunSummary<'_>) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"suite\": \"loadgen\",\n");
+    s.push_str(&format!(
+        "  \"schema_version\": {},\n",
+        detsim::SCHEMA_VERSION
+    ));
+    s.push_str(&format!("  \"quick\": {},\n", run.quick));
+    s.push_str(&format!("  \"jobs\": {},\n", run.jobs));
+    s.push_str(&format!("  \"workers\": {},\n", run.workers));
+    s.push_str(&format!("  \"wall_s\": {:.3},\n", run.wall_s));
+    s.push_str(&format!("  \"jobs_per_sec\": {:.3},\n", run.jobs_per_sec));
+    s.push_str(&format!("  \"p50_total_ms\": {:.3},\n", run.p50_ms));
+    s.push_str(&format!("  \"p99_total_ms\": {:.3},\n", run.p99_ms));
+    s.push_str(&format!("  \"digest_groups\": {},\n", run.digest_groups));
+    s.push_str(&format!("  \"bit_identical\": {},\n", run.bit_identical));
+    s.push_str("  \"tenants\": [\n");
+    let rows = run.rows;
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"tenant\": \"{}\", \"jobs\": {}, \"mean_queue_ms\": {:.3}, \
+             \"mean_run_ms\": {:.3}, \"p99_total_ms\": {:.3}}}{}\n",
+            r.tenant,
+            r.jobs,
+            r.mean_queue_ms,
+            r.mean_run_ms,
+            r.p99_total_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nresults written to {path}");
+}
+
+fn main() {
+    let args = parse_args();
+    let jobs = args.jobs.unwrap_or(if args.quick { 16 } else { 64 });
+    let workers = args.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4)
+    });
+
+    let store_path = std::env::temp_dir().join(format!("loadgen-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&store_path);
+    let store = ResultStore::open(&store_path).expect("open result store");
+    let service = Service::with_store(
+        ServiceConfig {
+            workers,
+            queue_capacity: jobs,
+            default_timeout_ms: None,
+        },
+        store,
+    );
+
+    let pool = templates(args.quick);
+    println!(
+        "loadgen: {jobs} jobs, {} templates, {workers} workers{}",
+        pool.len(),
+        if args.quick { " (quick)" } else { "" }
+    );
+
+    let t0 = std::time::Instant::now();
+    let mut handles = Vec::with_capacity(jobs);
+    let mut rejected = 0usize;
+    for i in 0..jobs {
+        let spec = pool[i % pool.len()].clone();
+        match service.submit(spec) {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                eprintln!("job {i} rejected: {e}");
+                rejected += 1;
+            }
+        }
+    }
+    let results: Vec<svc::JobResult> = handles.iter().map(|h| h.wait()).collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // Per-tenant table.
+    let mut rows: Vec<TenantRow> = Vec::new();
+    let mut tenants: Vec<String> = results.iter().map(|r| r.tenant.clone()).collect();
+    tenants.sort();
+    tenants.dedup();
+    println!(
+        "\n  {:<14} {:>5} {:>14} {:>12} {:>14}",
+        "tenant", "jobs", "mean queue", "mean run", "p99 total"
+    );
+    for t in &tenants {
+        let of_t: Vec<&svc::JobResult> = results.iter().filter(|r| &r.tenant == t).collect();
+        let n = of_t.len();
+        let mean_queue_ms = of_t.iter().map(|r| r.queue_ms).sum::<f64>() / n as f64;
+        let mean_run_ms = of_t.iter().map(|r| r.run_ms).sum::<f64>() / n as f64;
+        let mut totals: Vec<f64> = of_t.iter().map(|r| r.total_ms).collect();
+        totals.sort_by(f64::total_cmp);
+        let p99_total_ms = percentile(&totals, 0.99);
+        println!(
+            "  {t:<14} {n:>5} {:>11.1} ms {:>9.1} ms {:>11.1} ms",
+            mean_queue_ms, mean_run_ms, p99_total_ms
+        );
+        rows.push(TenantRow {
+            tenant: t.clone(),
+            jobs: n,
+            mean_queue_ms,
+            mean_run_ms,
+            p99_total_ms,
+        });
+    }
+
+    let mut totals: Vec<f64> = results.iter().map(|r| r.total_ms).collect();
+    totals.sort_by(f64::total_cmp);
+    let p50 = percentile(&totals, 0.50);
+    let p99 = percentile(&totals, 0.99);
+    let jobs_per_sec = results.len() as f64 / wall_s.max(1e-9);
+    println!(
+        "\n  {} jobs in {:.2}s = {:.2} jobs/sec; latency p50 {:.1} ms, p99 {:.1} ms",
+        results.len(),
+        wall_s,
+        jobs_per_sec,
+        p50,
+        p99
+    );
+
+    // Determinism audit over the persisted store: every repeated workload
+    // must have committed bit-identical virtual times.
+    let final_stats = service.shutdown();
+    let store = ResultStore::open(&store_path).expect("reopen result store");
+    let groups = store.by_digest().expect("load result store");
+    let repeated = groups.iter().filter(|g| g.completed().len() > 1).count();
+    let bit_identical = groups.iter().all(|g| g.bit_identical());
+    println!(
+        "  determinism audit: {} workloads, {} with repeats, bit-identical: {}",
+        groups.len(),
+        repeated,
+        bit_identical
+    );
+    let _ = std::fs::remove_file(&store_path);
+
+    if let Some(path) = &args.json {
+        write_json(
+            path,
+            &RunSummary {
+                quick: args.quick,
+                jobs,
+                workers,
+                wall_s,
+                jobs_per_sec,
+                p50_ms: p50,
+                p99_ms: p99,
+                rows: &rows,
+                digest_groups: groups.len(),
+                bit_identical,
+            },
+        );
+    }
+
+    if args.validate {
+        // The CI pins: the service held its contract for a full batch.
+        let mut failures = Vec::new();
+        if rejected != 0
+            || final_stats.rejected_queue_full != 0
+            || final_stats.rejected_invalid != 0
+        {
+            failures.push(format!(
+                "rejections: {} local, {} queue-full, {} invalid",
+                rejected, final_stats.rejected_queue_full, final_stats.rejected_invalid
+            ));
+        }
+        if final_stats.completed != jobs as u64 {
+            failures.push(format!(
+                "completed {} of {jobs} (cancelled {}, timed out {}, panicked {})",
+                final_stats.completed,
+                final_stats.cancelled,
+                final_stats.timed_out,
+                final_stats.panicked
+            ));
+        }
+        if repeated == 0 {
+            failures.push("no repeated workloads — determinism audit vacuous".into());
+        }
+        if !bit_identical {
+            failures.push("repeated workloads were not bit-identical".into());
+        }
+        // Generous wall-clock bound: quick smoke jobs are tiny; anything
+        // near this indicates a scheduling stall, not a slow simulation.
+        let bound_ms = if args.quick { 60_000.0 } else { 600_000.0 };
+        if p99 > bound_ms {
+            failures.push(format!("p99 {p99:.0} ms over bound {bound_ms:.0} ms"));
+        }
+        if failures.is_empty() {
+            println!("  validate: OK");
+        } else {
+            for f in &failures {
+                eprintln!("  validate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -14,13 +14,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use faultsim::FaultSchedule;
-use gpusim::DataMode;
-use mpisim::{run_world, WorldConfig};
-use parking_lot::Mutex;
-use stencil_core::{
-    DomainBuilder, Methods, Neighborhood, Partition, Placement, PlacementStrategy, Radius,
-};
-use topo::summit::{summit_cluster, summit_node};
+use stencil_core::{Methods, Neighborhood, Partition, Placement, PlacementStrategy, Radius};
+use topo::summit::summit_node;
 use topo::NodeDiscovery;
 
 /// One benchmark configuration, encoded like the paper's labels
@@ -139,6 +134,30 @@ impl ExchangeConfig {
         self
     }
 
+    /// The equivalent service job description. Faults and precomputed
+    /// placements are not part of the declarative spec — they ride as
+    /// [`svc::RunHooks`] (see [`measure_exchange`]).
+    pub fn to_job_spec(&self) -> svc::JobSpec {
+        let domain = self
+            .domain
+            .unwrap_or([self.extent, self.extent, self.extent]);
+        let mut spec = svc::JobSpec::new(
+            "bench",
+            svc::ClusterPreset::Summit { nodes: self.nodes },
+            self.ranks_per_node,
+            domain,
+        )
+        .methods(self.methods)
+        .cuda_aware(self.cuda_aware)
+        .radius(self.radius)
+        .placement(self.placement)
+        .iters(self.iters)
+        .consolidate(self.consolidate)
+        .collect_metrics(self.metrics);
+        spec.quantities = self.quantities;
+        spec
+    }
+
     /// The paper's label string, e.g. `"2n/6r/6g/750/ca"`.
     pub fn label(&self) -> String {
         let base = match self.domain {
@@ -175,61 +194,24 @@ pub struct ExchangeResult {
 /// Measure halo-exchange time for a configuration, following the paper's
 /// timing protocol. Runs in virtual data mode (no real bytes) so that
 /// paper-scale domains fit.
+///
+/// Delegates to the shared spec→world construction path
+/// ([`svc::execute_with`]): the figure binaries and the job service
+/// measure through identical code. Bench-only extras (explicit fault
+/// schedules, precomputed placements) ride as [`svc::RunHooks`].
 pub fn measure_exchange(cfg: &ExchangeConfig) -> ExchangeResult {
-    let domain = cfg.domain.unwrap_or([cfg.extent, cfg.extent, cfg.extent]);
-    let num_ranks = cfg.nodes * cfg.ranks_per_node;
-    let times: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(vec![Vec::new(); num_ranks]));
-    let plan_out: Arc<Mutex<String>> = Arc::new(Mutex::new(String::new()));
-    let t2 = Arc::clone(&times);
-    let p2 = Arc::clone(&plan_out);
-    let methods = cfg.methods;
-    let cuda_aware = cfg.cuda_aware;
-    let radius = cfg.radius;
-    let quantities = cfg.quantities;
-    let placement = cfg.placement;
-    let iters = cfg.iters;
-    let consolidate = cfg.consolidate;
-    let preplaced = cfg.preplaced.clone();
-    let world = WorldConfig::new(summit_cluster(cfg.nodes), cfg.ranks_per_node)
-        .cuda_aware(cuda_aware)
-        .data_mode(DataMode::Virtual)
-        .metrics(cfg.metrics)
-        .faults(cfg.faults.clone());
-    let report = run_world(world, move |ctx| {
-        let mut builder = DomainBuilder::new(domain)
-            .radius(radius)
-            .quantities(quantities)
-            .neighborhood(Neighborhood::Full26)
-            .methods(methods)
-            .placement(placement)
-            .consolidate(consolidate);
-        if let Some(pre) = &preplaced {
-            builder = builder.preplaced(Arc::clone(pre));
-        }
-        let dom = builder.build(ctx);
-        if ctx.rank() == 0 {
-            *p2.lock() = dom.plan_summary().to_string();
-        }
-        let mut mine = Vec::with_capacity(iters);
-        for _ in 0..iters {
-            ctx.barrier();
-            let t0 = ctx.wtime();
-            dom.exchange(ctx);
-            mine.push(ctx.wtime() - t0);
-        }
-        t2.lock()[ctx.rank()] = mine;
-    });
-    let per_rank = times.lock().clone();
-    let per_iter: Vec<f64> = (0..cfg.iters)
-        .map(|i| per_rank.iter().map(|r| r[i]).fold(0.0f64, f64::max))
-        .collect();
-    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
-    let plan = plan_out.lock().clone();
+    let spec = cfg.to_job_spec();
+    let hooks = svc::RunHooks {
+        preplaced: cfg.preplaced.clone(),
+        fault_override: Some(cfg.faults.clone()),
+        cancel: None,
+    };
+    let out = svc::execute_with(&spec, hooks);
     ExchangeResult {
-        per_iter,
-        mean,
-        plan,
-        metrics: report.metrics,
+        per_iter: out.per_iter,
+        mean: out.mean,
+        plan: out.plan,
+        metrics: out.metrics,
     }
 }
 

@@ -87,6 +87,28 @@ impl Methods {
         Methods(self.0 | Self::KERNEL)
     }
 
+    /// The raw enabled-set bits, for declarative job specs that must
+    /// round-trip any tier combination through JSON (`docs/SERVICE.md`).
+    /// [`Methods::from_bits`] is the inverse.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuild a set from [`Methods::bits`] output. Unknown bits are
+    /// rejected so a spec written by a newer schema fails loudly instead of
+    /// silently dropping methods.
+    pub fn from_bits(bits: u8) -> Option<Methods> {
+        const ALL: u8 = Methods::KERNEL
+            | Methods::PEER
+            | Methods::COLOCATED
+            | Methods::CUDA_AWARE
+            | Methods::STAGED;
+        if bits & !ALL != 0 {
+            return None;
+        }
+        Some(Methods(bits))
+    }
+
     /// Whether a method is enabled.
     pub fn contains(self, m: Method) -> bool {
         let bit = match m {

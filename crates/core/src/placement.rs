@@ -47,6 +47,30 @@ pub enum PlacementStrategy {
 }
 
 impl PlacementStrategy {
+    /// Stable wire name for job specs and persisted results
+    /// (`docs/SERVICE.md`). [`PlacementStrategy::parse`] is the inverse.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementStrategy::NodeAware => "node-aware",
+            PlacementStrategy::Trivial => "trivial",
+            PlacementStrategy::Empirical => "empirical",
+            PlacementStrategy::GreedySwap => "greedy-swap",
+            PlacementStrategy::Hierarchical => "hierarchical",
+        }
+    }
+
+    /// Parse a wire name produced by [`PlacementStrategy::name`].
+    pub fn parse(s: &str) -> Option<PlacementStrategy> {
+        Some(match s {
+            "node-aware" => PlacementStrategy::NodeAware,
+            "trivial" => PlacementStrategy::Trivial,
+            "empirical" => PlacementStrategy::Empirical,
+            "greedy-swap" => PlacementStrategy::GreedySwap,
+            "hierarchical" => PlacementStrategy::Hierarchical,
+            _ => return None,
+        })
+    }
+
     /// Run this strategy's solver rung on an explicit QAP instance.
     /// `NodeAware` and `Empirical` dispatch by size (they differ only in
     /// where the distance matrix comes from, which is the caller's

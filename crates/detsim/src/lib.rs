@@ -63,6 +63,6 @@ pub mod trace;
 pub use fifo::{FifoId, FifoToken};
 pub use flow::{FlowId, LinkId};
 pub use kernel::{Action, Completion, Kernel};
-pub use metrics::{Metrics, MetricsReport};
+pub use metrics::{Metrics, MetricsReport, SCHEMA_VERSION};
 pub use sched::{Program, Sim, SimCtx};
 pub use time::{SimDuration, SimTime, PS_PER_SEC};

@@ -44,6 +44,13 @@ use std::fmt::Write as _;
 /// absorbs everything larger.
 pub const HIST_BUCKETS: usize = 64;
 
+/// Version stamped into every persisted metrics/result JSON artifact
+/// (`"schema_version"`), so artifacts written by different PRs stay
+/// comparable: bump it on any breaking change to the JSON shape described
+/// in `docs/OBSERVABILITY.md`. Version 1 is the PR-1 format plus the
+/// version field itself.
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// Structured identity of a metric: which subsystem emitted it, what it is
 /// called, and the label set distinguishing instances (e.g. which link).
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -535,13 +542,14 @@ impl MetricsReport {
         out
     }
 
-    /// Serialize as JSON: `{"metrics": [entry, ...]}` where each entry
-    /// carries `subsystem`, `name`, `labels` (object), `type`, and
-    /// kind-specific fields. Hand-rolled writer — the format is small and
-    /// this avoids a serialization dependency. See `docs/OBSERVABILITY.md`
-    /// for the schema.
+    /// Serialize as JSON: `{"schema_version": N, "metrics": [entry, ...]}`
+    /// where each entry carries `subsystem`, `name`, `labels` (object),
+    /// `type`, and kind-specific fields. Hand-rolled writer — the format is
+    /// small and this avoids a serialization dependency. See
+    /// `docs/OBSERVABILITY.md` for the schema and [`SCHEMA_VERSION`] for
+    /// the versioning contract.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"metrics\":[\n");
+        let mut out = format!("{{\"schema_version\":{SCHEMA_VERSION},\"metrics\":[\n");
         for (i, (id, v)) in self.entries.iter().enumerate() {
             if i > 0 {
                 out.push_str(",\n");
@@ -742,7 +750,12 @@ mod tests {
         m.gauge_set("flow", "active_flows", &[], 2.0);
         m.observe_weighted("flow", "link_utilization", &[("link", "nic")], 0.5, 0.25);
         let json = m.report().to_json();
-        assert!(json.starts_with("{\"metrics\":["), "{json}");
+        assert!(
+            json.starts_with(&format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"metrics\":["
+            )),
+            "{json}"
+        );
         assert!(json.contains("\"type\":\"counter\",\"value\":7"), "{json}");
         assert!(json.contains("a\\\"b"), "label quotes escaped: {json}");
         assert!(

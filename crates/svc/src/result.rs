@@ -1,0 +1,289 @@
+//! The per-job result envelope — the service's response wire format.
+//!
+//! A [`JobResult`] records how a job terminated ([`JobStatus`]), its
+//! wall-clock latency split (queued vs running), and — for completed jobs
+//! — the committed virtual-time measurements, carried both as readable
+//! floats and as exact bit patterns so persisted results can be compared
+//! bit-for-bit across runs, worker counts, and PRs. Envelopes serialize
+//! to single-line JSON (JSONL-friendly; see [`crate::store::ResultStore`])
+//! and carry the same `schema_version` as `MetricsReport` JSON.
+
+use crate::json::{self, Json};
+use crate::spec::JobSpec;
+
+/// How a job terminated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran to completion; measurements are valid.
+    Completed,
+    /// Cancelled via its handle before or during execution.
+    Cancelled,
+    /// Exceeded its wall-clock timeout (queued or running).
+    TimedOut,
+    /// The world panicked (a bug in the workload or a poisoned spec);
+    /// the worker pool survived and `error` holds the panic message.
+    Panicked,
+}
+
+impl JobStatus {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Completed => "completed",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::TimedOut => "timed-out",
+            JobStatus::Panicked => "panicked",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<JobStatus> {
+        Some(match s {
+            "completed" => JobStatus::Completed,
+            "cancelled" => JobStatus::Cancelled,
+            "timed-out" => JobStatus::TimedOut,
+            "panicked" => JobStatus::Panicked,
+            _ => return None,
+        })
+    }
+}
+
+/// Everything the service reports about one finished job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// Artifact format version (`detsim::SCHEMA_VERSION`).
+    pub schema_version: u32,
+    /// Service-assigned id, unique within a service instance.
+    pub job_id: u64,
+    /// Tenant that submitted the job.
+    pub tenant: String,
+    /// Workload digest ([`JobSpec::digest`]) for cross-run comparison.
+    pub digest: String,
+    /// How the job terminated.
+    pub status: JobStatus,
+    /// Panic message for [`JobStatus::Panicked`]; `None` otherwise.
+    pub error: Option<String>,
+    /// Wall-clock milliseconds spent queued (submit → dispatch).
+    pub queue_ms: f64,
+    /// Wall-clock milliseconds spent executing.
+    pub run_ms: f64,
+    /// Wall-clock milliseconds submit → completion.
+    pub total_ms: f64,
+    /// Per-iteration max-across-ranks exchange seconds (virtual time).
+    /// Empty unless [`JobStatus::Completed`].
+    pub per_iter_s: Vec<f64>,
+    /// Mean of `per_iter_s` (0 unless completed).
+    pub mean_s: f64,
+    /// Final virtual time of the world, picoseconds (0 unless completed).
+    pub elapsed_virtual_ps: u64,
+    /// The spec that produced this result, echoed for self-containment.
+    pub spec: JobSpec,
+    /// `MetricsReport::to_json()` of the job's world, if the spec set
+    /// `collect_metrics`. Stored verbatim: string equality is the
+    /// determinism comparison.
+    pub metrics_json: Option<String>,
+}
+
+impl JobResult {
+    /// Serialize as one line of JSON (no interior newlines).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"schema_version\":{},\"job_id\":{},\"tenant\":{},\"digest\":\"{}\",\
+             \"status\":\"{}\"",
+            self.schema_version,
+            self.job_id,
+            json::quote(&self.tenant),
+            self.digest,
+            self.status.as_str(),
+        ));
+        if let Some(e) = &self.error {
+            out.push_str(",\"error\":");
+            out.push_str(&json::quote(e));
+        }
+        out.push_str(&format!(
+            ",\"queue_ms\":{},\"run_ms\":{},\"total_ms\":{}",
+            json::fmt_f64(self.queue_ms),
+            json::fmt_f64(self.run_ms),
+            json::fmt_f64(self.total_ms)
+        ));
+        // Virtual times ride as exact bit patterns (hex) next to readable
+        // floats; the bits are authoritative for determinism comparisons.
+        out.push_str(",\"per_iter_bits\":[");
+        for (i, v) in self.per_iter_s.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{:016x}\"", v.to_bits()));
+        }
+        out.push_str("],\"per_iter_s\":[");
+        for (i, v) in self.per_iter_s.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json::fmt_f64(*v));
+        }
+        out.push_str(&format!(
+            "],\"mean_s\":{},\"elapsed_virtual_ps\":{},\"spec\":{}",
+            json::fmt_f64(self.mean_s),
+            self.elapsed_virtual_ps,
+            self.spec.to_json()
+        ));
+        if let Some(m) = &self.metrics_json {
+            out.push_str(",\"metrics\":");
+            out.push_str(&json::quote(m));
+        }
+        out.push('}');
+        debug_assert!(!out.contains('\n'), "JSONL line must be newline-free");
+        out
+    }
+
+    /// Parse one envelope from JSON text (inverse of
+    /// [`JobResult::to_json`]). Virtual times are reconstructed from the
+    /// bit patterns, so a round-trip is exact.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("result.{k} missing"))
+        };
+        let f = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("result.{k} missing"))
+        };
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("result.{k} missing"))
+        };
+        let per_iter_s: Vec<f64> = v
+            .get("per_iter_bits")
+            .and_then(Json::as_arr)
+            .ok_or("result.per_iter_bits missing")?
+            .iter()
+            .map(|b| {
+                b.as_str()
+                    .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                    .map(f64::from_bits)
+                    .ok_or("result.per_iter_bits entry malformed".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        let status = JobStatus::parse(s("status")?)
+            .ok_or_else(|| format!("unknown status {}", s("status").unwrap()))?;
+        Ok(JobResult {
+            schema_version: u("schema_version")? as u32,
+            job_id: u("job_id")?,
+            tenant: s("tenant")?.to_string(),
+            digest: s("digest")?.to_string(),
+            status,
+            error: v.get("error").and_then(Json::as_str).map(str::to_string),
+            queue_ms: f("queue_ms")?,
+            run_ms: f("run_ms")?,
+            total_ms: f("total_ms")?,
+            per_iter_s,
+            mean_s: f("mean_s")?,
+            elapsed_virtual_ps: u("elapsed_virtual_ps")?,
+            spec: JobSpec::from_value(v.get("spec").ok_or("result.spec missing")?)?,
+            metrics_json: v.get("metrics").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+
+    /// Whether two results are the same committed virtual-time outcome,
+    /// bit for bit: per-iteration times, final virtual time, and (when
+    /// both carry metrics) the full metrics registry.
+    pub fn bit_identical(&self, other: &JobResult) -> bool {
+        self.elapsed_virtual_ps == other.elapsed_virtual_ps
+            && self.per_iter_s.len() == other.per_iter_s.len()
+            && self
+                .per_iter_s
+                .iter()
+                .zip(other.per_iter_s.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && match (&self.metrics_json, &other.metrics_json) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ClusterPreset;
+
+    fn sample() -> JobResult {
+        JobResult {
+            schema_version: detsim::SCHEMA_VERSION,
+            job_id: 17,
+            tenant: "sweep".into(),
+            digest: "0123456789abcdef".into(),
+            status: JobStatus::Completed,
+            error: None,
+            queue_ms: 1.25,
+            run_ms: 40.5,
+            total_ms: 41.75,
+            per_iter_s: vec![0.0031, 0.0030517578125],
+            mean_s: 0.00307587890625,
+            elapsed_virtual_ps: 123_456_789_012,
+            spec: JobSpec::new("sweep", ClusterPreset::Summit { nodes: 1 }, 2, [64, 64, 64]),
+            metrics_json: Some("{\"schema_version\":1,\"metrics\":[]}".into()),
+        }
+    }
+
+    #[test]
+    fn result_json_round_trips_exactly() {
+        let r = sample();
+        let line = r.to_json();
+        assert!(!line.contains('\n'));
+        let back = JobResult::from_json(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        assert_eq!(back, r);
+        assert!(back.bit_identical(&r));
+    }
+
+    #[test]
+    fn panicked_result_round_trips_error() {
+        let mut r = sample();
+        r.status = JobStatus::Panicked;
+        r.error = Some("boom: \"quoted\"\nline2".into());
+        r.per_iter_s.clear();
+        r.mean_s = 0.0;
+        r.elapsed_virtual_ps = 0;
+        r.metrics_json = None;
+        let back = JobResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn bit_identity_is_strict() {
+        let a = sample();
+        let mut b = sample();
+        b.per_iter_s[1] = f64::from_bits(b.per_iter_s[1].to_bits() + 1);
+        assert!(!a.bit_identical(&b));
+        let mut c = sample();
+        c.elapsed_virtual_ps += 1;
+        assert!(!a.bit_identical(&c));
+        let mut d = sample();
+        d.metrics_json = Some("{\"schema_version\":1,\"metrics\":[1]}".into());
+        assert!(!a.bit_identical(&d));
+        // wall-clock fields are free to differ
+        let mut e = sample();
+        e.queue_ms = 99.0;
+        e.job_id = 1;
+        assert!(a.bit_identical(&e));
+    }
+
+    #[test]
+    fn status_names_round_trip() {
+        for s in [
+            JobStatus::Completed,
+            JobStatus::Cancelled,
+            JobStatus::TimedOut,
+            JobStatus::Panicked,
+        ] {
+            assert_eq!(JobStatus::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(JobStatus::parse("nope"), None);
+    }
+}

@@ -1,0 +1,223 @@
+//! Spec → world construction and execution.
+//!
+//! [`execute_with`] is the one place in the tree that turns a declarative
+//! workload description into a running simulated world: resolve the
+//! cluster preset, install the fault schedule, build the distributed
+//! domain inside the world, and run the measured exchange loop under the
+//! paper's timing protocol (barrier, `wtime`, exchange, max across
+//! ranks). The bench harness (`stencil_bench::measure_exchange`) and the
+//! job service both delegate here, so every figure binary and every
+//! service job measures through identical construction code.
+//!
+//! Each world runs on the coroutine runtime inside the calling OS thread
+//! and shares nothing with other worlds, so a job's committed virtual
+//! times are bit-identical no matter how many neighbors run concurrently
+//! on other workers — the property `crates/svc/tests/determinism.rs`
+//! pins.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use faultsim::FaultSchedule;
+use gpusim::DataMode;
+use mpisim::{run_world, WorldConfig};
+use parking_lot::Mutex;
+use stencil_core::{DomainBuilder, Neighborhood, Placement};
+
+use crate::spec::JobSpec;
+
+/// Panic payload used to unwind a world whose job was cancelled (timeout
+/// or explicit cancel). The service classifies unwinds carrying this
+/// message as cancellation rather than a crashed job.
+pub const CANCEL_PANIC: &str = "svc: job cancelled";
+
+/// Panic payload produced by the [`JobSpec::poison_at_iter`] chaos hook.
+pub const POISON_PANIC: &str = "svc: poisoned world (poison_at_iter hook)";
+
+/// Caller-supplied extras that are not part of the declarative spec.
+#[derive(Clone, Default)]
+pub struct RunHooks {
+    /// Precomputed per-node placements: skips the in-world placement
+    /// phase (bench sweeps measuring one geometry under several method
+    /// tiers pay the QAP cost once).
+    pub preplaced: Option<Arc<Vec<Placement>>>,
+    /// Replace the spec's named fault scenario with an explicit schedule
+    /// (bench scenarios that aim faults at computed targets).
+    pub fault_override: Option<FaultSchedule>,
+    /// Cooperative cancellation: checked by every rank at each iteration
+    /// boundary; when set, the world unwinds with [`CANCEL_PANIC`].
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+/// What one executed job measured.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Per-iteration max-across-ranks exchange seconds (virtual time).
+    pub per_iter: Vec<f64>,
+    /// Mean of `per_iter`.
+    pub mean: f64,
+    /// Human-readable plan summary from rank 0.
+    pub plan: String,
+    /// Metrics snapshot, if the spec asked for one.
+    pub metrics: Option<detsim::MetricsReport>,
+    /// Final virtual time of the world, picoseconds — the primary
+    /// bit-identity anchor for determinism comparisons.
+    pub elapsed_virtual_ps: u64,
+}
+
+/// Run the job described by `spec` to completion in a fresh world on the
+/// calling thread. See [`execute_with`].
+pub fn execute(spec: &JobSpec) -> RunOutcome {
+    execute_with(spec, RunHooks::default())
+}
+
+/// Run `spec` with caller hooks. Panics propagate (after the runtime's
+/// poison teardown) when a rank program panics — including cancellation
+/// unwinds ([`CANCEL_PANIC`]) and the poison chaos hook
+/// ([`POISON_PANIC`]); the service catches and classifies them.
+pub fn execute_with(spec: &JobSpec, hooks: RunHooks) -> RunOutcome {
+    let num_ranks = spec.num_ranks();
+    let times: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(vec![Vec::new(); num_ranks]));
+    let plan_out: Arc<Mutex<String>> = Arc::new(Mutex::new(String::new()));
+    let t2 = Arc::clone(&times);
+    let p2 = Arc::clone(&plan_out);
+    let faults = hooks
+        .fault_override
+        .unwrap_or_else(|| spec.faults.schedule());
+    let world = WorldConfig::new(spec.cluster.cluster_spec(), spec.ranks_per_node)
+        .cuda_aware(spec.cuda_aware)
+        .data_mode(DataMode::Virtual)
+        .metrics(spec.collect_metrics)
+        .faults(faults);
+    let domain = spec.domain;
+    let radius = spec.radius;
+    let quantities = spec.quantities;
+    let methods = spec.methods;
+    let placement = spec.placement;
+    let consolidate = spec.consolidate;
+    let iters = spec.iters;
+    let poison_at_iter = spec.poison_at_iter;
+    let preplaced = hooks.preplaced;
+    let cancel = hooks.cancel;
+    let report = run_world(world, move |ctx| {
+        let mut builder = DomainBuilder::new(domain)
+            .radius(radius)
+            .quantities(quantities)
+            .neighborhood(Neighborhood::Full26)
+            .methods(methods)
+            .placement(placement)
+            .consolidate(consolidate);
+        if let Some(pre) = &preplaced {
+            builder = builder.preplaced(Arc::clone(pre));
+        }
+        let dom = builder.build(ctx);
+        if ctx.rank() == 0 {
+            *p2.lock() = dom.plan_summary().to_string();
+        }
+        let mut mine = Vec::with_capacity(iters);
+        for i in 0..iters {
+            if let Some(flag) = &cancel {
+                if flag.load(Ordering::Relaxed) {
+                    std::panic::panic_any(CANCEL_PANIC);
+                }
+            }
+            if poison_at_iter == Some(i) && ctx.rank() == 0 {
+                std::panic::panic_any(POISON_PANIC);
+            }
+            ctx.barrier();
+            let t0 = ctx.wtime();
+            dom.exchange(ctx);
+            mine.push(ctx.wtime() - t0);
+        }
+        t2.lock()[ctx.rank()] = mine;
+    });
+    let per_rank = times.lock().clone();
+    let per_iter: Vec<f64> = (0..spec.iters)
+        .map(|i| per_rank.iter().map(|r| r[i]).fold(0.0f64, f64::max))
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let plan = plan_out.lock().clone();
+    RunOutcome {
+        per_iter,
+        mean,
+        plan,
+        metrics: report.metrics,
+        elapsed_virtual_ps: report.elapsed.picos(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClusterPreset, FaultScenario};
+
+    fn tiny() -> JobSpec {
+        JobSpec::new("t", ClusterPreset::Summit { nodes: 1 }, 2, [64, 64, 64]).iters(2)
+    }
+
+    #[test]
+    fn executes_and_reports_virtual_times() {
+        let out = execute(&tiny());
+        assert_eq!(out.per_iter.len(), 2);
+        assert!(out.mean > 0.0);
+        assert!(out.elapsed_virtual_ps > 0);
+        assert!(!out.plan.is_empty());
+    }
+
+    #[test]
+    fn named_fault_scenario_slows_the_run() {
+        // Full node so every device is placed, and a domain big enough
+        // that pack/unpack time is visible next to link latency.
+        let spec =
+            JobSpec::new("t", ClusterPreset::Summit { nodes: 1 }, 6, [384, 384, 384]).iters(2);
+        let clean = execute(&spec);
+        let faulted = execute(&spec.clone().faults(FaultScenario::StragglerGpu {
+            device: 2,
+            at_us: 0,
+            speed_factor: 0.05,
+        }));
+        assert!(
+            faulted.mean > clean.mean * 1.5,
+            "straggler must bite: clean {} faulted {}",
+            clean.mean,
+            faulted.mean
+        );
+    }
+
+    #[test]
+    fn metrics_requested_means_metrics_returned() {
+        let out = execute(&tiny().collect_metrics(true));
+        let json = out.metrics.expect("metrics requested").to_json();
+        assert!(json.contains("\"exchange\""), "{json}");
+    }
+
+    #[test]
+    fn cancel_flag_unwinds_with_cancel_payload() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let hooks = RunHooks {
+            cancel: Some(Arc::clone(&flag)),
+            ..Default::default()
+        };
+        let spec = tiny();
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_with(&spec, hooks)))
+                .expect_err("pre-set cancel flag must unwind the world");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, CANCEL_PANIC);
+    }
+
+    #[test]
+    fn poison_hook_unwinds_with_poison_payload() {
+        let spec = tiny().poison_at_iter(1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(&spec)))
+            .expect_err("poison hook must unwind the world");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, POISON_PANIC);
+    }
+}
