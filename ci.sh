@@ -41,4 +41,8 @@ echo "==> service smoke (loadgen --quick --validate)"
 ./target/release/loadgen --quick --validate --json /tmp/loadgen_smoke.json
 test -s /tmp/loadgen_smoke.json
 
+echo "==> transport/overlap smoke (overlap --quick --validate)"
+./target/release/overlap --quick --validate --json /tmp/overlap_smoke.json
+test -s /tmp/overlap_smoke.json
+
 echo "==> OK"

@@ -127,6 +127,17 @@ fn templates(quick: bool) -> Vec<JobSpec> {
         .weight(2)
         .placement(stencil_core::PlacementStrategy::Hierarchical)
         .iters(2),
+        // Persistent-transport stack: internode legs ride pre-matched
+        // channels (see docs/TRANSPORTS.md).
+        JobSpec::new(
+            "sweep",
+            ClusterPreset::Summit { nodes: 2 },
+            6,
+            [e(256, 96); 3],
+        )
+        .weight(2)
+        .methods(stencil_core::Methods::all().with_persistent())
+        .iters(2),
         // "batch": bigger nodes, slower placements, metrics on.
         JobSpec::new("batch", ClusterPreset::Dgx { nodes: 1 }, 8, [e(256, 96); 3])
             .placement(stencil_core::PlacementStrategy::GreedySwap)

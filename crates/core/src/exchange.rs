@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use detsim::{Completion, Kernel};
 use gpusim::{Buffer, Stream, Work};
-use mpisim::{RankCtx, Request};
+use mpisim::{Channel, ChannelRound, RankCtx, Request};
 use parking_lot::Mutex;
 
 use crate::dim3::Dim3;
@@ -98,6 +98,9 @@ pub(crate) struct SendPlan {
     pub mailbox: Option<Mailbox>,
     /// `PeerMemcpy`: index of the matching receive plan in this rank.
     pub peer_recv: Option<usize>,
+    /// `PersistentStaged`/`PartitionedStaged`: the channel end set up once
+    /// at plan-build time (`*_init`), started every exchange.
+    pub chan: Option<Channel>,
 }
 
 /// One segment of a consolidated message: the pack/unpack geometry for one
@@ -153,6 +156,24 @@ pub(crate) struct RecvPlan {
     pub recv_dev_buf: Option<Buffer>,
     pub host_buf: Option<Buffer>,
     pub mailbox: Option<Mailbox>,
+    /// `PersistentStaged`/`PartitionedStaged`: the receive channel end.
+    pub chan: Option<Channel>,
+}
+
+/// How many partitions a `PartitionedStaged` message of `bytes` uses: one
+/// per 8 KiB up to 4, so small messages degrade gracefully to a single
+/// partition (≈ persistent) instead of paying per-partition overhead for
+/// nothing.
+pub(crate) fn partition_count(bytes: u64) -> usize {
+    (bytes / 8192).clamp(1, 4) as usize
+}
+
+/// Byte range of partition `part` of `parts` over a `bytes`-long message —
+/// the same equal-chunk split `mpisim` uses on the wire.
+fn partition_range(bytes: u64, parts: usize, part: usize) -> (u64, u64) {
+    let chunk = bytes.div_ceil(parts as u64);
+    let off = part as u64 * chunk;
+    (off, chunk.min(bytes - off))
 }
 
 fn make_pack_work(arrays: Vec<Buffer>, dims: Dim3, elem: usize, reg: Region, out: Buffer) -> Work {
@@ -287,6 +308,8 @@ pub(crate) fn build_plans(
                         peer_access: machine.can_access_peer(local.device, dst_dev)
                             || dst_dev == local.device,
                         cuda_aware: ctx.cuda_aware(),
+                        persistent: ctx.mpi_persistent(),
+                        partitioned: ctx.mpi_partitioned(),
                     };
                     let method = select(spec.methods, caps);
                     if matches!(method, Method::PeerMemcpy | Method::ColocatedMemcpy)
@@ -304,7 +327,11 @@ pub(crate) fn build_plans(
                             .alloc_device_untimed(local.device, bytes)
                             .expect("pack buffer")
                     });
-                    let host_buf = (method == Method::Staged).then(|| {
+                    let host_buf = matches!(
+                        method,
+                        Method::Staged | Method::PersistentStaged | Method::PartitionedStaged
+                    )
+                    .then(|| {
                         machine.alloc_host_untimed(
                             machine.node_of(local.device),
                             machine
@@ -331,6 +358,7 @@ pub(crate) fn build_plans(
                         remote_buf: None,
                         mailbox: None,
                         peer_recv: None,
+                        chan: None,
                     });
                 }
             }
@@ -360,6 +388,8 @@ pub(crate) fn build_plans(
                     peer_access: machine.can_access_peer(src_dev, local.device)
                         || src_dev == local.device,
                     cuda_aware: ctx.cuda_aware(),
+                    persistent: ctx.mpi_persistent(),
+                    partitioned: ctx.mpi_partitioned(),
                 };
                 let method = select(spec.methods, caps);
                 let src_sid = dom_part.subdomain_id(sn, sg) as u64;
@@ -371,7 +401,11 @@ pub(crate) fn build_plans(
                         .alloc_device_untimed(local.device, rbytes)
                         .expect("recv buffer")
                 });
-                let host_buf = (method == Method::Staged).then(|| {
+                let host_buf = matches!(
+                    method,
+                    Method::Staged | Method::PersistentStaged | Method::PartitionedStaged
+                )
+                .then(|| {
                     machine.alloc_host_untimed(
                         machine.node_of(local.device),
                         machine
@@ -395,6 +429,7 @@ pub(crate) fn build_plans(
                     recv_dev_buf,
                     host_buf,
                     mailbox,
+                    chan: None,
                 });
             }
         }
@@ -553,6 +588,40 @@ pub(crate) fn build_plans(
         recvs = keep;
     }
 
+    // Persistent/partitioned channel setup (`*_init`): register both ends
+    // under the plan's (rank pair, tag) key. Pays the full per-call MPI
+    // overhead once, here — every exchange then pays only the cheap start.
+    // The closing barrier below guarantees both ends exist before the
+    // first round starts.
+    for sp in &mut sends {
+        match sp.method {
+            Method::PersistentStaged => {
+                let host = sp.host_buf.as_ref().unwrap();
+                sp.chan = Some(ctx.send_init(host, 0, sp.bytes, sp.dst_rank, sp.tag));
+            }
+            Method::PartitionedStaged => {
+                let host = sp.host_buf.as_ref().unwrap();
+                let parts = partition_count(sp.bytes);
+                sp.chan = Some(ctx.psend_init(host, 0, sp.bytes, sp.dst_rank, sp.tag, parts));
+            }
+            _ => {}
+        }
+    }
+    for rp in &mut recvs {
+        match rp.method {
+            Method::PersistentStaged => {
+                let host = rp.host_buf.as_ref().unwrap();
+                rp.chan = Some(ctx.recv_init(host, 0, rp.bytes, rp.src_rank, rp.tag));
+            }
+            Method::PartitionedStaged => {
+                let host = rp.host_buf.as_ref().unwrap();
+                let parts = partition_count(rp.bytes);
+                rp.chan = Some(ctx.precv_init(host, 0, rp.bytes, rp.src_rank, rp.tag, parts));
+            }
+            _ => {}
+        }
+    }
+
     // Link each peer send to its same-rank receive plan. This must happen
     // after consolidation: filtering staged plans out of `recvs` shifts the
     // indices of the surviving PeerMemcpy plans.
@@ -610,6 +679,37 @@ enum Machine {
         req: Request,
         unpack_all: Option<Completion>,
     },
+    /// `PersistentStaged` send: pack → D2H as staged, then `start` on the
+    /// channel instead of a fresh `Isend`.
+    PersistentSend {
+        plan: usize,
+        staged_ev: Completion,
+        round: Option<Request>,
+    },
+    /// `PersistentStaged` receive: the round was started up front
+    /// (receivers first); H2D + unpack when it lands.
+    PersistentRecv {
+        plan: usize,
+        round: Request,
+        unpack_ev: Option<Completion>,
+    },
+    /// `PartitionedStaged` send: the packed message stages D2H in
+    /// partition-sized chunks; each chunk's `pready` fires as its copy
+    /// lands, so early partitions fly while later ones still stage.
+    PartitionedSend {
+        plan: usize,
+        d2h_evs: Vec<Completion>,
+        next_ready: usize,
+        round: Request,
+    },
+    /// `PartitionedStaged` receive: partitions H2D individually as they
+    /// arrive (`MPI_Parrived`), one unpack after the last.
+    PartitionedRecv {
+        plan: usize,
+        round: ChannelRound,
+        next_arrived: usize,
+        unpack_ev: Option<Completion>,
+    },
 }
 
 impl Machine {
@@ -619,6 +719,12 @@ impl Machine {
             Machine::CaSend { .. } | Machine::CaRecv { .. } => Method::CudaAwareMpi,
             Machine::ColoRecv { .. } => Method::ColocatedMemcpy,
             Machine::GroupedSend { .. } | Machine::GroupedRecv { .. } => Method::Staged,
+            Machine::PersistentSend { .. } | Machine::PersistentRecv { .. } => {
+                Method::PersistentStaged
+            }
+            Machine::PartitionedSend { .. } | Machine::PartitionedRecv { .. } => {
+                Method::PartitionedStaged
+            }
         }
     }
 }
@@ -718,6 +824,23 @@ impl DistributedDomain {
                     machines.push(Machine::ColoRecv {
                         plan: i,
                         arrival: None,
+                        unpack_ev: None,
+                    });
+                }
+                Method::PersistentStaged => {
+                    let round = ctx.start(rp.chan.as_ref().unwrap());
+                    machines.push(Machine::PersistentRecv {
+                        plan: i,
+                        round: round.all,
+                        unpack_ev: None,
+                    });
+                }
+                Method::PartitionedStaged => {
+                    let round = ctx.start(rp.chan.as_ref().unwrap());
+                    machines.push(Machine::PartitionedRecv {
+                        plan: i,
+                        round,
+                        next_arrived: 0,
                         unpack_ev: None,
                     });
                 }
@@ -828,6 +951,59 @@ impl DistributedDomain {
                         req: None,
                     });
                 }
+                Method::PersistentStaged => {
+                    // Same pack → D2H pipeline as staged, but the wire leg is
+                    // a pre-matched channel: the machine calls `start` (cheap,
+                    // no per-iteration match) once staging completes.
+                    let pack_buf = sp.pack_buf.as_ref().unwrap();
+                    let host_buf = sp.host_buf.as_ref().unwrap();
+                    let pack = make_pack_work(
+                        sp.arrays.clone(),
+                        sp.dims,
+                        sp.elem,
+                        sp.src_region,
+                        pack_buf.clone(),
+                    );
+                    m.launch_kernel(ctx.sim(), sp.stream, "pack", sp.bytes, Some(pack));
+                    m.memcpy_async(ctx.sim(), sp.stream, host_buf, 0, pack_buf, 0, sp.bytes);
+                    let staged_ev = m.record_event(ctx.sim(), sp.stream);
+                    machines.push(Machine::PersistentSend {
+                        plan: si,
+                        staged_ev,
+                        round: None,
+                    });
+                }
+                Method::PartitionedStaged => {
+                    // One pack kernel, then partition-sized D2H chunks with an
+                    // event after each: partition p is `pready`d as soon as
+                    // its chunk lands on the host, so early partitions are on
+                    // the wire while later ones still stage.
+                    let pack_buf = sp.pack_buf.as_ref().unwrap();
+                    let host_buf = sp.host_buf.as_ref().unwrap();
+                    let pack = make_pack_work(
+                        sp.arrays.clone(),
+                        sp.dims,
+                        sp.elem,
+                        sp.src_region,
+                        pack_buf.clone(),
+                    );
+                    m.launch_kernel(ctx.sim(), sp.stream, "pack", sp.bytes, Some(pack));
+                    let chan = sp.chan.as_ref().unwrap();
+                    let parts = chan.parts();
+                    let mut d2h_evs = Vec::with_capacity(parts);
+                    for p in 0..parts {
+                        let (off, len) = partition_range(sp.bytes, parts, p);
+                        m.memcpy_async(ctx.sim(), sp.stream, host_buf, off, pack_buf, off, len);
+                        d2h_evs.push(m.record_event(ctx.sim(), sp.stream));
+                    }
+                    let round = ctx.start(chan);
+                    machines.push(Machine::PartitionedSend {
+                        plan: si,
+                        d2h_evs,
+                        next_ready: 0,
+                        round: round.all,
+                    });
+                }
             }
         }
         // Consolidated sends: one combined pack kernel, one D2H, then the
@@ -916,6 +1092,146 @@ impl DistributedDomain {
                         0,
                         rp.bytes,
                     );
+                    let unpack = make_unpack_work(
+                        rp.arrays.clone(),
+                        rp.dims,
+                        rp.elem,
+                        rp.dst_region,
+                        dev.clone(),
+                    );
+                    *unpack_ev = Some(m.launch_kernel(
+                        ctx.sim(),
+                        rp.stream,
+                        "unpack",
+                        rp.bytes,
+                        Some(unpack),
+                    ));
+                }
+                let ev = unpack_ev.as_ref().unwrap();
+                if ev.is_done() {
+                    timing.phase("unpack", since_start(ctx));
+                    Poll::Done
+                } else {
+                    Poll::Blocked(ev.clone())
+                }
+            }
+            Machine::PersistentSend {
+                plan,
+                staged_ev,
+                round,
+            } => {
+                let sp = &self.send_plans[*plan];
+                if round.is_none() {
+                    if !staged_ev.is_done() {
+                        return Poll::Blocked(staged_ev.clone());
+                    }
+                    timing.phase("pack", since_start(ctx));
+                    *round = Some(ctx.start(sp.chan.as_ref().unwrap()).all);
+                }
+                let r = round.as_ref().unwrap();
+                if r.is_done() {
+                    timing.phase("send", since_start(ctx));
+                    Poll::Done
+                } else {
+                    Poll::Blocked(r.completion().clone())
+                }
+            }
+            Machine::PersistentRecv {
+                plan,
+                round,
+                unpack_ev,
+            } => {
+                let rp = &self.recv_plans[*plan];
+                if unpack_ev.is_none() {
+                    if !round.is_done() {
+                        return Poll::Blocked(round.completion().clone());
+                    }
+                    timing.phase("wait", since_start(ctx));
+                    let dev = rp.recv_dev_buf.as_ref().unwrap();
+                    m.memcpy_async(
+                        ctx.sim(),
+                        rp.stream,
+                        dev,
+                        0,
+                        rp.host_buf.as_ref().unwrap(),
+                        0,
+                        rp.bytes,
+                    );
+                    let unpack = make_unpack_work(
+                        rp.arrays.clone(),
+                        rp.dims,
+                        rp.elem,
+                        rp.dst_region,
+                        dev.clone(),
+                    );
+                    *unpack_ev = Some(m.launch_kernel(
+                        ctx.sim(),
+                        rp.stream,
+                        "unpack",
+                        rp.bytes,
+                        Some(unpack),
+                    ));
+                }
+                let ev = unpack_ev.as_ref().unwrap();
+                if ev.is_done() {
+                    timing.phase("unpack", since_start(ctx));
+                    Poll::Done
+                } else {
+                    Poll::Blocked(ev.clone())
+                }
+            }
+            Machine::PartitionedSend {
+                plan,
+                d2h_evs,
+                next_ready,
+                round,
+            } => {
+                let sp = &self.send_plans[*plan];
+                while *next_ready < d2h_evs.len() {
+                    if !d2h_evs[*next_ready].is_done() {
+                        return Poll::Blocked(d2h_evs[*next_ready].clone());
+                    }
+                    ctx.pready(sp.chan.as_ref().unwrap(), *next_ready);
+                    *next_ready += 1;
+                    if *next_ready == d2h_evs.len() {
+                        timing.phase("pack", since_start(ctx));
+                    }
+                }
+                if round.is_done() {
+                    timing.phase("send", since_start(ctx));
+                    Poll::Done
+                } else {
+                    Poll::Blocked(round.completion().clone())
+                }
+            }
+            Machine::PartitionedRecv {
+                plan,
+                round,
+                next_arrived,
+                unpack_ev,
+            } => {
+                let rp = &self.recv_plans[*plan];
+                if unpack_ev.is_none() {
+                    let parts = round.parts.len();
+                    while *next_arrived < parts {
+                        if !round.parts[*next_arrived].is_done() {
+                            return Poll::Blocked(round.parts[*next_arrived].clone());
+                        }
+                        // H2D just this partition's bytes as soon as they land.
+                        let (off, len) = partition_range(rp.bytes, parts, *next_arrived);
+                        m.memcpy_async(
+                            ctx.sim(),
+                            rp.stream,
+                            rp.recv_dev_buf.as_ref().unwrap(),
+                            off,
+                            rp.host_buf.as_ref().unwrap(),
+                            off,
+                            len,
+                        );
+                        *next_arrived += 1;
+                    }
+                    timing.phase("wait", since_start(ctx));
+                    let dev = rp.recv_dev_buf.as_ref().unwrap();
                     let unpack = make_unpack_work(
                         rp.arrays.clone(),
                         rp.dims,

@@ -74,6 +74,7 @@ mod exchange;
 mod local;
 pub mod method;
 pub mod multilevel;
+pub mod overlap;
 pub mod partition;
 pub mod placement;
 pub mod qap;
@@ -88,6 +89,7 @@ pub use exchange::{ExchangeHandle, ExchangeTiming};
 pub use local::LocalDomain;
 pub use method::{select, Method, Methods, PairCaps};
 pub use multilevel::{DenseDistance, DistanceOracle, FlowGraph};
+pub use overlap::StepTiming;
 pub use partition::Partition;
 pub use placement::{map_nodes, node_flow_graph, Placement, PlacementStrategy};
 pub use radius::Radius;

@@ -1,15 +1,18 @@
 //! Setup phase 3 — capability specialization (paper §III-C).
 //!
 //! Each subdomain-pair exchange is implemented with the first applicable of
-//! five methods, in order: `Kernel`, `PeerMemcpy`, `ColocatedMemcpy`,
-//! `CudaAwareMpi`, `Staged`. Which methods are *enabled* is configurable
-//! (the paper's Fig. 12 sweeps `+remote`, `+colo`, `+peer`, `+kernel`);
-//! which are *applicable* depends on where the two subdomains live and what
-//! the platform supports.
+//! the methods, in order: `Kernel`, `PeerMemcpy`, `ColocatedMemcpy`,
+//! `PartitionedStaged`, `PersistentStaged`, `CudaAwareMpi`, `Staged`.
+//! Which methods are *enabled* is configurable (the paper's Fig. 12 sweeps
+//! `+remote`, `+colo`, `+peer`, `+kernel`; the persistent/partitioned rungs
+//! extend the ladder per Collom et al., see `docs/TRANSPORTS.md`); which
+//! are *applicable* depends on where the two subdomains live and what the
+//! platform supports.
 
 use std::fmt;
 
-/// The five exchange implementations (paper Figs. 7-8).
+/// The exchange implementations (paper Figs. 7-8, extended with the
+/// persistent and partitioned transports of `docs/TRANSPORTS.md`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
 pub enum Method {
     /// Self-exchange inside one GPU with a single kernel — no pack/unpack.
@@ -24,6 +27,14 @@ pub enum Method {
     CudaAwareMpi,
     /// Pack → D2H → host MPI → H2D → unpack. Always available.
     Staged,
+    /// `Staged` riding a persistent channel (`MPI_Send_init` /
+    /// `MPI_Recv_init` / `MPI_Start`): matching and rendezvous negotiated
+    /// once at setup, each iteration pays only the cheap start.
+    PersistentStaged,
+    /// `Staged` riding a partitioned channel (`MPI_Psend_init` /
+    /// `MPI_Pready`): the staged message is split into partitions that fly
+    /// as each chunk's D2H copy lands, pipelining staging with the wire.
+    PartitionedStaged,
 }
 
 impl fmt::Display for Method {
@@ -34,6 +45,8 @@ impl fmt::Display for Method {
             Method::ColocatedMemcpy => "colocated",
             Method::CudaAwareMpi => "cuda-aware",
             Method::Staged => "staged",
+            Method::PersistentStaged => "persistent",
+            Method::PartitionedStaged => "partitioned",
         };
         f.write_str(s)
     }
@@ -49,10 +62,14 @@ impl Methods {
     const COLOCATED: u8 = 1 << 2;
     const CUDA_AWARE: u8 = 1 << 3;
     const STAGED: u8 = 1 << 4;
+    const PERSISTENT: u8 = 1 << 5;
+    const PARTITIONED: u8 = 1 << 6;
 
-    /// Everything enabled except CUDA-aware MPI (the paper's default: on
-    /// their platform CUDA-aware was never faster, so it is never selected;
-    /// see [`Methods::all_with_cuda_aware`]).
+    /// Everything enabled except CUDA-aware MPI and the persistent /
+    /// partitioned transports (the paper's default ladder: on their
+    /// platform CUDA-aware was never faster, and persistent/partitioned
+    /// postdate it — see [`Methods::all_with_cuda_aware`],
+    /// [`Methods::with_persistent`], [`Methods::with_partitioned`]).
     pub fn all() -> Methods {
         Methods(Self::KERNEL | Self::PEER | Self::COLOCATED | Self::STAGED)
     }
@@ -87,6 +104,16 @@ impl Methods {
         Methods(self.0 | Self::KERNEL)
     }
 
+    /// Add the persistent-channel staged method ("+persistent").
+    pub fn with_persistent(self) -> Methods {
+        Methods(self.0 | Self::PERSISTENT)
+    }
+
+    /// Add the partitioned-channel staged method ("+partitioned").
+    pub fn with_partitioned(self) -> Methods {
+        Methods(self.0 | Self::PARTITIONED)
+    }
+
     /// The raw enabled-set bits, for declarative job specs that must
     /// round-trip any tier combination through JSON (`docs/SERVICE.md`).
     /// [`Methods::from_bits`] is the inverse.
@@ -102,7 +129,9 @@ impl Methods {
             | Methods::PEER
             | Methods::COLOCATED
             | Methods::CUDA_AWARE
-            | Methods::STAGED;
+            | Methods::STAGED
+            | Methods::PERSISTENT
+            | Methods::PARTITIONED;
         if bits & !ALL != 0 {
             return None;
         }
@@ -117,6 +146,8 @@ impl Methods {
             Method::ColocatedMemcpy => Self::COLOCATED,
             Method::CudaAwareMpi => Self::CUDA_AWARE,
             Method::Staged => Self::STAGED,
+            Method::PersistentStaged => Self::PERSISTENT,
+            Method::PartitionedStaged => Self::PARTITIONED,
         };
         self.0 & bit != 0
     }
@@ -142,12 +173,21 @@ pub struct PairCaps {
     pub peer_access: bool,
     /// The MPI library accepts device pointers.
     pub cuda_aware: bool,
+    /// The MPI library implements persistent requests
+    /// (`WorldConfig::mpi_persistent`).
+    pub persistent: bool,
+    /// The MPI library implements partitioned communication
+    /// (`WorldConfig::mpi_partitioned`).
+    pub partitioned: bool,
 }
 
-/// Pick the first applicable enabled method (paper §III-C). `Staged` is the
-/// universal fallback and is always applicable — but note that staging
-/// device buffers requires plain MPI; if `Staged` is disabled and only
-/// `CudaAwareMpi` is enabled on a non-CUDA-aware platform, this panics.
+/// Pick the first applicable enabled method (paper §III-C, extended with
+/// the persistent/partitioned rungs of `docs/TRANSPORTS.md` — partitioned
+/// outranks persistent, which outranks plain staged, whenever the
+/// simulated MPI stack supports them). `Staged` is the universal fallback
+/// and is always applicable — but note that staging device buffers
+/// requires plain MPI; if `Staged` is disabled and only `CudaAwareMpi` is
+/// enabled on a non-CUDA-aware platform, this panics.
 pub fn select(enabled: Methods, caps: PairCaps) -> Method {
     if caps.same_device && enabled.contains(Method::Kernel) {
         return Method::Kernel;
@@ -161,6 +201,12 @@ pub fn select(enabled: Methods, caps: PairCaps) -> Method {
         && enabled.contains(Method::ColocatedMemcpy)
     {
         return Method::ColocatedMemcpy;
+    }
+    if caps.partitioned && enabled.contains(Method::PartitionedStaged) {
+        return Method::PartitionedStaged;
+    }
+    if caps.persistent && enabled.contains(Method::PersistentStaged) {
+        return Method::PersistentStaged;
     }
     if caps.cuda_aware && enabled.contains(Method::CudaAwareMpi) {
         return Method::CudaAwareMpi;
@@ -183,6 +229,8 @@ mod tests {
             same_node,
             peer_access: true,
             cuda_aware: false,
+            persistent: false,
+            partitioned: false,
         }
     }
 
@@ -266,6 +314,56 @@ mod tests {
         assert!(Methods::all_with_cuda_aware().contains(Method::CudaAwareMpi));
         assert!(!Methods::all().contains(Method::CudaAwareMpi));
         assert!(Methods::cuda_aware_only().contains(Method::Staged));
+    }
+
+    #[test]
+    fn persistent_outranks_staged_when_stack_supports_it() {
+        let m = Methods::all().with_persistent();
+        let mut c = caps(false, false, false);
+        // stack support off: stays staged even though the bit is enabled
+        assert_eq!(select(m, c), Method::Staged);
+        c.persistent = true;
+        assert_eq!(select(m, c), Method::PersistentStaged);
+        // enabled-set without the bit never selects it
+        assert_eq!(select(Methods::all(), c), Method::Staged);
+    }
+
+    #[test]
+    fn partitioned_outranks_persistent_and_cuda_aware() {
+        let m = Methods::all_with_cuda_aware()
+            .with_persistent()
+            .with_partitioned();
+        let mut c = caps(false, false, false);
+        c.cuda_aware = true;
+        c.persistent = true;
+        c.partitioned = true;
+        assert_eq!(select(m, c), Method::PartitionedStaged);
+        c.partitioned = false;
+        assert_eq!(select(m, c), Method::PersistentStaged);
+        c.persistent = false;
+        assert_eq!(select(m, c), Method::CudaAwareMpi);
+    }
+
+    #[test]
+    fn node_local_rungs_outrank_transports() {
+        // Kernel / peer / colocated still win for node-local pairs.
+        let m = Methods::all().with_persistent().with_partitioned();
+        let mut c = caps(false, false, true);
+        c.persistent = true;
+        c.partitioned = true;
+        assert_eq!(select(m, c), Method::ColocatedMemcpy);
+    }
+
+    #[test]
+    fn transport_bits_round_trip() {
+        let m = Methods::staged_only().with_persistent().with_partitioned();
+        assert_eq!(Methods::from_bits(m.bits()), Some(m));
+        assert!(m.contains(Method::PersistentStaged));
+        assert!(m.contains(Method::PartitionedStaged));
+        assert!(!Methods::all().contains(Method::PersistentStaged));
+        assert_eq!(Methods::from_bits(1 << 7), None, "unknown bit rejected");
+        assert_eq!(Method::PersistentStaged.to_string(), "persistent");
+        assert_eq!(Method::PartitionedStaged.to_string(), "partitioned");
     }
 
     #[test]

@@ -57,7 +57,10 @@ fn check_exchange(case: Case) {
     } = case;
     let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let f2 = Arc::clone(&failures);
-    let cfg = WorldConfig::new(summit_cluster(nodes), rpn).cuda_aware(cuda_aware);
+    let cfg = WorldConfig::new(summit_cluster(nodes), rpn)
+        .cuda_aware(cuda_aware)
+        .mpi_persistent(methods.contains(stencil_core::Method::PersistentStaged))
+        .mpi_partitioned(methods.contains(stencil_core::Method::PartitionedStaged));
     run_world(cfg, move |ctx| {
         let dom = DomainBuilder::new(domain)
             .radius_faces(radius)
@@ -344,6 +347,99 @@ fn three_nodes_odd_split() {
         domain: [25, 23, 21], // non-divisible extents
         ..Case::default()
     });
+}
+
+#[test]
+fn multi_node_persistent() {
+    // Internode legs ride persistent channels (PersistentStaged outranks
+    // Staged when the stack advertises the capability).
+    check_exchange(Case {
+        nodes: 2,
+        rpn: 6,
+        domain: [48, 24, 24],
+        methods: Methods::all().with_persistent(),
+        ..Case::default()
+    });
+}
+
+#[test]
+fn multi_node_partitioned() {
+    // Big faces => multi-partition messages; data must still land exactly.
+    check_exchange(Case {
+        nodes: 2,
+        rpn: 6,
+        domain: [96, 96, 48],
+        radius: Radius::constant(2),
+        methods: Methods::all().with_partitioned(),
+        ..Case::default()
+    });
+}
+
+#[test]
+fn persistent_only_everywhere() {
+    // No node-local rungs enabled: every pair, including intra-node and
+    // self-exchange, goes through persistent channels.
+    check_exchange(Case {
+        rpn: 6,
+        methods: Methods::staged_only().with_persistent(),
+        ..Case::default()
+    });
+}
+
+#[test]
+fn partitioned_only_everywhere() {
+    check_exchange(Case {
+        rpn: 6,
+        methods: Methods::staged_only().with_partitioned(),
+        ..Case::default()
+    });
+}
+
+#[test]
+fn persistent_channels_reused_across_iterations_stay_correct() {
+    // The channel is matched once at setup; later exchanges reuse it. Each
+    // iteration writes fresh interior values, so a stale round would show
+    // up as last iteration's bytes in the halo.
+    let failures: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+    let f2 = Arc::clone(&failures);
+    let cfg = WorldConfig::new(summit_cluster(2), 6)
+        .mpi_persistent(true)
+        .mpi_partitioned(true);
+    run_world(cfg, move |ctx| {
+        let domain = [48, 24, 24];
+        let dom = DomainBuilder::new(domain)
+            .radius(1)
+            .quantities(1)
+            .methods(Methods::all().with_persistent().with_partitioned())
+            .build(ctx);
+        for iter in 0..3 {
+            let bump = iter as f32 * 10_000.0;
+            for local in dom.locals() {
+                local.fill(0, |p| cell_value(domain, 0, p) + bump);
+            }
+            ctx.barrier();
+            dom.exchange(ctx);
+            ctx.barrier();
+            for local in dom.locals() {
+                let o = local.interior.origin;
+                let e = local.interior.extent;
+                for z in 0..e[2] as i64 {
+                    for y in 0..e[1] as i64 {
+                        let got = local.get_local_f32(0, [-1, y, z]);
+                        let gp = [
+                            (o[0] as i64 - 1).rem_euclid(domain[0] as i64) as u64,
+                            o[1] + y as u64,
+                            o[2] + z as u64,
+                        ];
+                        if got != cell_value(domain, 0, gp) + bump {
+                            *f2.lock() += 1;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    assert_eq!(*failures.lock(), 0);
 }
 
 #[test]

@@ -30,6 +30,14 @@ pub struct MpiCostModel {
     /// device synchronization and per-message IPC/pipelining setup (the
     /// paper observes `cudaDeviceSynchronize` calls and default-stream use).
     pub cuda_aware_overhead: SimDuration,
+    /// CPU time of `MPI_Start` on a persistent or partitioned channel. The
+    /// heart of the persistent win: the argument checking, matching, and
+    /// protocol negotiation that `call_overhead` models were done once at
+    /// `*_init` time, so each iteration's start is much cheaper.
+    pub persistent_start_overhead: SimDuration,
+    /// CPU time of `MPI_Pready`, marking one partition of a partitioned
+    /// send ready to fly.
+    pub partition_ready_overhead: SimDuration,
 }
 
 impl Default for MpiCostModel {
@@ -43,6 +51,8 @@ impl Default for MpiCostModel {
             obj_latency: SimDuration::from_micros(2),
             barrier_hop: SimDuration::from_micros(3),
             cuda_aware_overhead: SimDuration::from_micros(12),
+            persistent_start_overhead: SimDuration::from_nanos(200),
+            partition_ready_overhead: SimDuration::from_nanos(150),
         }
     }
 }
@@ -57,5 +67,10 @@ mod tests {
         assert!(c.shm_bandwidth > 1e9);
         assert!(c.eager_threshold > 0);
         assert!(c.cuda_aware_overhead > c.call_overhead);
+        assert!(
+            c.persistent_start_overhead < c.call_overhead,
+            "persistent start must amortize the per-call cost"
+        );
+        assert!(c.partition_ready_overhead <= c.persistent_start_overhead);
     }
 }

@@ -15,6 +15,11 @@
 //!   **CUDA-aware** (device buffers passed straight to MPI; reproduces the
 //!   default-stream serialization and per-message synchronization the paper
 //!   profiles in §IV-D);
+//! * persistent requests ([`RankCtx::send_init`] / [`RankCtx::recv_init`] /
+//!   [`RankCtx::start`]) and partitioned communication
+//!   ([`RankCtx::psend_init`] / [`RankCtx::pready`]), gated behind
+//!   [`WorldConfig::mpi_persistent`] / [`WorldConfig::mpi_partitioned`]
+//!   (see `docs/TRANSPORTS.md`);
 //! * `MPI_Barrier`, `MPI_Wtime`;
 //! * a typed out-of-band channel for setup metadata and `cudaIpc` handles
 //!   ([`RankCtx::send_obj`] / [`RankCtx::recv_obj`]).
@@ -55,5 +60,5 @@ mod world;
 
 pub use config::MpiCostModel;
 pub use rank::RankCtx;
-pub use transport::Request;
+pub use transport::{ChanKind, ChanSide, Channel, ChannelRound, Request};
 pub use world::{run_world, WorldConfig, WorldReport};

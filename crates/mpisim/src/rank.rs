@@ -6,7 +6,7 @@ use std::sync::Arc;
 use detsim::{Completion, SimCtx, SimDuration};
 use gpusim::{Buffer, GpuMachine};
 
-use crate::transport::{MpiState, Request};
+use crate::transport::{ChanKind, ChanSide, Channel, ChannelRound, MpiState, Request};
 
 /// Handle given to each rank program: its identity, its GPUs, and the MPI
 /// operations. Mirrors the subset of MPI + CUDA context the paper's library
@@ -41,6 +41,18 @@ impl<'a> RankCtx<'a> {
     /// Whether the MPI library is CUDA-aware in this run.
     pub fn cuda_aware(&self) -> bool {
         self.st.cuda_aware
+    }
+
+    /// Whether the MPI library implements persistent requests
+    /// (`send_init`/`recv_init`/`start`) in this run.
+    pub fn mpi_persistent(&self) -> bool {
+        self.st.persistent
+    }
+
+    /// Whether the MPI library implements partitioned communication
+    /// (`psend_init`/`precv_init`/`pready`) in this run.
+    pub fn mpi_partitioned(&self) -> bool {
+        self.st.partitioned
     }
 
     /// Global device ids of the GPUs this rank controls (GPUs of its node
@@ -166,6 +178,131 @@ impl<'a> RankCtx<'a> {
     pub fn recv(&self, buf: &Buffer, off: u64, len: u64, src: usize, tag: u64) {
         let r = self.irecv(buf, off, len, src, tag);
         self.wait(&r);
+    }
+
+    // ----- persistent / partitioned channels --------------------------------
+
+    /// `MPI_Send_init`: set up a persistent send of `buf[off..off+len]` to
+    /// `(dst, tag)`. Pays full `call_overhead` once, here; each later
+    /// [`Self::start`] pays only `persistent_start_overhead`.
+    pub fn send_init(&self, buf: &Buffer, off: u64, len: u64, dst: usize, tag: u64) -> Channel {
+        self.sim.delay(self.st.cfg.call_overhead);
+        self.sim.with_kernel(|k| {
+            self.st.channel_init(
+                k,
+                ChanKind::Persistent,
+                ChanSide::Send,
+                self.rank,
+                dst,
+                tag,
+                buf,
+                off,
+                len,
+                1,
+            )
+        })
+    }
+
+    /// `MPI_Recv_init`: set up a persistent receive into
+    /// `buf[off..off+len]` from `(src, tag)`.
+    pub fn recv_init(&self, buf: &Buffer, off: u64, len: u64, src: usize, tag: u64) -> Channel {
+        self.sim.delay(self.st.cfg.call_overhead);
+        self.sim.with_kernel(|k| {
+            self.st.channel_init(
+                k,
+                ChanKind::Persistent,
+                ChanSide::Recv,
+                self.rank,
+                src,
+                tag,
+                buf,
+                off,
+                len,
+                1,
+            )
+        })
+    }
+
+    /// `MPI_Psend_init`: set up a partitioned send of `buf[off..off+len]`
+    /// split into `parts` equal partitions, each released individually with
+    /// [`Self::pready`].
+    pub fn psend_init(
+        &self,
+        buf: &Buffer,
+        off: u64,
+        len: u64,
+        dst: usize,
+        tag: u64,
+        parts: usize,
+    ) -> Channel {
+        self.sim.delay(self.st.cfg.call_overhead);
+        self.sim.with_kernel(|k| {
+            self.st.channel_init(
+                k,
+                ChanKind::Partitioned,
+                ChanSide::Send,
+                self.rank,
+                dst,
+                tag,
+                buf,
+                off,
+                len,
+                parts,
+            )
+        })
+    }
+
+    /// `MPI_Precv_init`: set up a partitioned receive into
+    /// `buf[off..off+len]` with `parts` partitions (must equal the
+    /// sender's).
+    pub fn precv_init(
+        &self,
+        buf: &Buffer,
+        off: u64,
+        len: u64,
+        src: usize,
+        tag: u64,
+        parts: usize,
+    ) -> Channel {
+        self.sim.delay(self.st.cfg.call_overhead);
+        self.sim.with_kernel(|k| {
+            self.st.channel_init(
+                k,
+                ChanKind::Partitioned,
+                ChanSide::Recv,
+                self.rank,
+                src,
+                tag,
+                buf,
+                off,
+                len,
+                parts,
+            )
+        })
+    }
+
+    /// `MPI_Start` on a channel end: begin one round. Persistent sends fly
+    /// as soon as both sides have started; partitioned sends additionally
+    /// wait for each partition's [`Self::pready`]. Wait on
+    /// [`ChannelRound::all`] (or the per-partition
+    /// [`ChannelRound::parts`]) before starting the next round on this end.
+    pub fn start(&self, ch: &Channel) -> ChannelRound {
+        self.sim.delay(self.st.cfg.persistent_start_overhead);
+        let parts = self.sim.with_kernel(|k| self.st.channel_start(k, ch));
+        let all = self.sim.with_kernel(|k| k.completion_all(&parts));
+        ChannelRound {
+            all: Request(all),
+            parts,
+        }
+    }
+
+    /// `MPI_Pready`: release partition `part` of a started partitioned
+    /// send. Its bytes begin flying immediately (if the receiver's round
+    /// has started), overlapping with the packing of later partitions.
+    pub fn pready(&self, ch: &Channel, part: usize) {
+        self.sim.delay(self.st.cfg.partition_ready_overhead);
+        self.sim
+            .with_kernel(|k| self.st.channel_pready(k, ch, part));
     }
 
     // ----- typed out-of-band messages ---------------------------------------

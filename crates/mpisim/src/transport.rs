@@ -31,6 +31,103 @@ impl Request {
 
 type MatchKey = (usize, usize, u64); // (dst, src, tag)
 
+/// Which family of setup-once channel semantics a [`Channel`] carries
+/// (`docs/TRANSPORTS.md`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChanKind {
+    /// `MPI_Send_init`/`MPI_Recv_init`: the whole message flies on each
+    /// `start`, but matching and protocol negotiation were paid at init.
+    Persistent,
+    /// `MPI_Psend_init`/`MPI_Precv_init`: the message is split into
+    /// partitions that fly individually as the sender marks them ready.
+    Partitioned,
+}
+
+impl ChanKind {
+    fn label(self) -> &'static str {
+        match self {
+            ChanKind::Persistent => "persistent",
+            ChanKind::Partitioned => "partitioned",
+        }
+    }
+}
+
+/// Which end of a channel a handle controls.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChanSide {
+    /// The sending end (`send_init`/`psend_init`).
+    Send,
+    /// The receiving end (`recv_init`/`precv_init`).
+    Recv,
+}
+
+/// Handle to one end of a persistent or partitioned channel, created once
+/// at setup by [`RankCtx::send_init`](crate::RankCtx::send_init) and
+/// friends, then driven every iteration with
+/// [`RankCtx::start`](crate::RankCtx::start) (and, for partitioned sends,
+/// [`RankCtx::pready`](crate::RankCtx::pready)).
+#[derive(Clone, Debug)]
+pub struct Channel {
+    pub(crate) id: usize,
+    pub(crate) kind: ChanKind,
+    pub(crate) side: ChanSide,
+    pub(crate) parts: usize,
+}
+
+impl Channel {
+    /// Number of partitions (1 for persistent channels).
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The channel family.
+    pub fn kind(&self) -> ChanKind {
+        self.kind
+    }
+}
+
+/// One round of a channel, returned by
+/// [`RankCtx::start`](crate::RankCtx::start): wait on [`Self::all`] for the
+/// whole round; poll [`Self::parts`] for per-partition arrival
+/// (`MPI_Parrived`).
+pub struct ChannelRound {
+    /// Completes when every partition of this side's round has landed.
+    pub all: Request,
+    /// Per-partition completions, in partition order.
+    pub parts: Vec<Completion>,
+}
+
+/// One registered end of a channel: the buffer region pinned at init time.
+struct ChanEnd {
+    buf: Buffer,
+    off: u64,
+    len: u64,
+    rank: usize,
+}
+
+/// Per-round state: which sides have started, which partitions are ready,
+/// and the completions each side's `start` handed out.
+struct ChannelRoundState {
+    send_parts: Option<Vec<Completion>>,
+    recv_parts: Option<Vec<Completion>>,
+    ready: Vec<bool>,
+    launched: Vec<bool>,
+    remaining: usize,
+    /// When the earlier side started (match-wait metrics).
+    first_started: SimTime,
+}
+
+struct ChannelState {
+    kind: ChanKind,
+    parts: usize,
+    send: Option<ChanEnd>,
+    recv: Option<ChanEnd>,
+    /// Completed rounds. Round 0 pays the protocol handshake
+    /// (rendezvous); later rounds reuse the negotiated match.
+    rounds_done: u64,
+    cur: Option<ChannelRoundState>,
+}
+
 struct PendingMsg {
     buf: Buffer,
     off: u64,
@@ -63,6 +160,10 @@ pub(crate) struct MpiState {
     pub machine: GpuMachine,
     pub cfg: MpiCostModel,
     pub cuda_aware: bool,
+    /// Whether the simulated stack implements persistent requests.
+    pub persistent: bool,
+    /// Whether the simulated stack implements partitioned communication.
+    pub partitioned: bool,
     pub num_ranks: usize,
     pub ranks_per_node: usize,
     /// Per-rank shared-memory progress-engine link: all of a rank's
@@ -71,6 +172,11 @@ pub(crate) struct MpiState {
     /// Per-rank trace track for MPI spans.
     pub rank_track: Vec<detsim::trace::TrackId>,
     queues: Mutex<HashMap<MatchKey, MatchQueue>>,
+    /// Persistent/partitioned channels: both ends register under the same
+    /// `(dst, src, tag)` key at init time; the index maps it to a slot in
+    /// `channels`.
+    chan_index: Mutex<HashMap<MatchKey, usize>>,
+    channels: Mutex<Vec<Arc<Mutex<ChannelState>>>>,
     objs: Mutex<HashMap<MatchKey, ObjQueue>>,
     pub barrier: Mutex<BarrierState>,
     /// Memoized deterministic setup artifacts shared across the world's
@@ -84,6 +190,8 @@ impl MpiState {
         machine: GpuMachine,
         cfg: MpiCostModel,
         cuda_aware: bool,
+        persistent: bool,
+        partitioned: bool,
         ranks_per_node: usize,
     ) -> Arc<MpiState> {
         assert!(ranks_per_node >= 1);
@@ -99,11 +207,15 @@ impl MpiState {
             machine,
             cfg,
             cuda_aware,
+            persistent,
+            partitioned,
             num_ranks,
             ranks_per_node,
             shm_link,
             rank_track,
             queues: Mutex::new(HashMap::new()),
+            chan_index: Mutex::new(HashMap::new()),
+            channels: Mutex::new(Vec::new()),
             objs: Mutex::new(HashMap::new()),
             barrier: Mutex::new(BarrierState {
                 arrived: 0,
@@ -383,6 +495,292 @@ impl MpiState {
             let fifo_other = self.machine.stream_fifo(self.machine.default_stream(other));
             k.fifo_submit(fifo_other, move |k, token| {
                 k.on_complete(&landed, move |k| k.fifo_task_done(token));
+            });
+        }
+    }
+
+    // ----- persistent / partitioned channels ------------------------------
+
+    /// Register one end of a persistent or partitioned channel. Both ends
+    /// must register under the same `(dst, src, tag)` key (in any order)
+    /// before either side starts a round.
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI *_init signature
+    pub fn channel_init(
+        &self,
+        k: &mut Kernel,
+        kind: ChanKind,
+        side: ChanSide,
+        my_rank: usize,
+        peer: usize,
+        tag: u64,
+        buf: &Buffer,
+        off: u64,
+        len: u64,
+        parts: usize,
+    ) -> Channel {
+        match kind {
+            ChanKind::Persistent => assert!(
+                self.persistent,
+                "persistent channels used but WorldConfig::mpi_persistent is off"
+            ),
+            ChanKind::Partitioned => assert!(
+                self.partitioned,
+                "partitioned channels used but WorldConfig::mpi_partitioned is off"
+            ),
+        }
+        assert!(off + len <= buf.len(), "channel region out of range");
+        assert!(peer < self.num_ranks, "channel peer rank out of range");
+        assert!(
+            buf.device().is_none(),
+            "persistent/partitioned channels require host buffers \
+             (CUDA-aware persistent requests are not modeled)"
+        );
+        assert!(
+            parts >= 1 && parts as u64 <= len.max(1),
+            "bad partition count"
+        );
+        let key = match side {
+            ChanSide::Send => (peer, my_rank, tag),
+            ChanSide::Recv => (my_rank, peer, tag),
+        };
+        let end = ChanEnd {
+            buf: buf.clone(),
+            off,
+            len,
+            rank: my_rank,
+        };
+        let mut index = self.chan_index.lock();
+        let mut channels = self.channels.lock();
+        let id = *index.entry(key).or_insert_with(|| {
+            channels.push(Arc::new(Mutex::new(ChannelState {
+                kind,
+                parts,
+                send: None,
+                recv: None,
+                rounds_done: 0,
+                cur: None,
+            })));
+            channels.len() - 1
+        });
+        {
+            let mut st = channels[id].lock();
+            assert_eq!(st.kind, kind, "channel ends disagree on kind (key {key:?})");
+            assert_eq!(
+                st.parts, parts,
+                "channel ends disagree on partition count (key {key:?})"
+            );
+            if let (ChanSide::Recv, Some(send)) = (side, &st.send) {
+                assert!(len >= send.len, "channel receive region smaller than send");
+            }
+            if let (ChanSide::Send, Some(recv)) = (side, &st.recv) {
+                assert!(recv.len >= len, "channel receive region smaller than send");
+            }
+            let slot = match side {
+                ChanSide::Send => &mut st.send,
+                ChanSide::Recv => &mut st.recv,
+            };
+            assert!(
+                slot.is_none(),
+                "duplicate channel init for the same end (key {key:?})"
+            );
+            *slot = Some(end);
+        }
+        if k.metrics.is_enabled() {
+            let s = match side {
+                ChanSide::Send => "send",
+                ChanSide::Recv => "recv",
+            };
+            k.metrics.counter_add(
+                "mpi",
+                "channel_ends",
+                &[("kind", kind.label()), ("side", s)],
+                1,
+            );
+        }
+        Channel {
+            id,
+            kind,
+            side,
+            parts,
+        }
+    }
+
+    /// Start one round on a channel end. Returns the per-partition
+    /// completions for this side (persistent channels have exactly one).
+    /// Partitions of a persistent channel — and none of a partitioned send
+    /// until [`Self::channel_pready`] — begin flying as soon as both sides
+    /// of the round have started.
+    pub fn channel_start(&self, k: &mut Kernel, ch: &Channel) -> Vec<Completion> {
+        let state = Arc::clone(&self.channels.lock()[ch.id]);
+        let mut st = state.lock();
+        assert!(
+            st.send.is_some() && st.recv.is_some(),
+            "channel started before both ends were initialized"
+        );
+        let parts = st.parts;
+        let round = st.cur.get_or_insert_with(|| ChannelRoundState {
+            send_parts: None,
+            recv_parts: None,
+            ready: vec![false; parts],
+            launched: vec![false; parts],
+            remaining: parts,
+            first_started: k.now(),
+        });
+        let mine: Vec<Completion> = (0..parts).map(|_| k.completion()).collect();
+        let (slot, other_started, waited_side) = match ch.side {
+            ChanSide::Send => (&mut round.send_parts, round.recv_parts.is_some(), "recv"),
+            ChanSide::Recv => (&mut round.recv_parts, round.send_parts.is_some(), "send"),
+        };
+        assert!(slot.is_none(), "channel end started twice in one round");
+        *slot = Some(mine.clone());
+        if ch.side == ChanSide::Send && ch.kind == ChanKind::Persistent {
+            // The whole persistent message is implicitly ready at start.
+            round.ready.iter_mut().for_each(|r| *r = true);
+        }
+        if k.metrics.is_enabled() {
+            let s = match ch.side {
+                ChanSide::Send => "send",
+                ChanSide::Recv => "recv",
+            };
+            k.metrics.counter_add(
+                "mpi",
+                "channel_starts",
+                &[("kind", ch.kind.label()), ("side", s)],
+                1,
+            );
+            if ch.side == ChanSide::Send {
+                let label = ch.kind.label();
+                let len = st.send.as_ref().unwrap().len;
+                k.metrics
+                    .counter_add("mpi", "messages", &[("protocol", label)], 1);
+                k.metrics
+                    .counter_add("mpi", "message_bytes", &[("protocol", label)], len);
+            }
+            if other_started {
+                let waited = k
+                    .now()
+                    .since(st.cur.as_ref().unwrap().first_started)
+                    .picos() as f64;
+                k.metrics
+                    .observe("mpi", "match_wait_ps", &[("side", waited_side)], waited);
+            }
+        }
+        self.channel_try_launch(k, &state, &mut st);
+        mine
+    }
+
+    /// `MPI_Pready`: mark one partition of a partitioned send ready. Its
+    /// bytes begin flying immediately if the receiver's round has started.
+    pub fn channel_pready(&self, k: &mut Kernel, ch: &Channel, part: usize) {
+        assert_eq!(ch.side, ChanSide::Send, "pready on a receive channel");
+        assert_eq!(
+            ch.kind,
+            ChanKind::Partitioned,
+            "pready on a persistent channel"
+        );
+        assert!(part < ch.parts, "partition index out of range");
+        let state = Arc::clone(&self.channels.lock()[ch.id]);
+        let mut st = state.lock();
+        let round = st
+            .cur
+            .as_mut()
+            .expect("pready before the send side started the round");
+        assert!(
+            round.send_parts.is_some(),
+            "pready before the send side started the round"
+        );
+        assert!(!round.ready[part], "partition marked ready twice");
+        round.ready[part] = true;
+        if k.metrics.is_enabled() {
+            k.metrics.counter_add("mpi", "partition_ready", &[], 1);
+        }
+        self.channel_try_launch(k, &state, &mut st);
+    }
+
+    /// Launch every partition that is ready and unlaunched, provided both
+    /// sides of the round have started. Round 0 of a channel additionally
+    /// pays the protocol handshake latency (rendezvous for large messages);
+    /// later rounds reuse the negotiated match — the persistent win.
+    fn channel_try_launch(
+        &self,
+        k: &mut Kernel,
+        state: &Arc<Mutex<ChannelState>>,
+        st: &mut ChannelState,
+    ) {
+        let Some(round) = st.cur.as_mut() else {
+            return;
+        };
+        let (Some(send_parts), Some(recv_parts)) = (&round.send_parts, &round.recv_parts) else {
+            return;
+        };
+        let send = st.send.as_ref().unwrap();
+        let recv = st.recv.as_ref().unwrap();
+        let (Placement::Host(n1, s1), Placement::Host(n2, s2)) =
+            (send.buf.placement(), recv.buf.placement())
+        else {
+            unreachable!("channel ends are asserted host-resident at init");
+        };
+        let fabric = self.machine.fabric();
+        let path: Vec<LinkId> = if n1 == n2 {
+            let mut p = vec![self.shm_link[send.rank]];
+            p.extend(fabric.node_path(n1, fabric.node_spec().cpu(s1), fabric.node_spec().cpu(s2)));
+            p
+        } else {
+            fabric.internode_host_path(n1, s1, n2, s2)
+        };
+        let transport = if n1 == n2 { "shm" } else { "net" };
+        let label: &'static str = match (st.kind, n1 == n2) {
+            (ChanKind::Persistent, true) => "MPI persistent shm",
+            (ChanKind::Persistent, false) => "MPI persistent net",
+            (ChanKind::Partitioned, true) => "MPI partitioned shm",
+            (ChanKind::Partitioned, false) => "MPI partitioned net",
+        };
+        let extra = if st.rounds_done == 0 {
+            self.protocol_latency(send.len)
+        } else {
+            SimDuration::ZERO
+        };
+        let chunk = send.len.div_ceil(st.parts as u64);
+        let track = self.rank_track[send.rank];
+        for part in 0..st.parts {
+            if !round.ready[part] || round.launched[part] {
+                continue;
+            }
+            round.launched[part] = true;
+            let rel = part as u64 * chunk;
+            let bytes = chunk.min(send.len - rel);
+            if k.metrics.is_enabled() {
+                k.metrics
+                    .counter_add("mpi", "transport_bytes", &[("transport", transport)], bytes);
+            }
+            let send_done = send_parts[part].clone();
+            let recv_done = recv_parts[part].clone();
+            let sbuf = send.buf.clone();
+            let rbuf = recv.buf.clone();
+            let (soff, roff) = (send.off + rel, recv.off + rel);
+            let chan = Arc::clone(state);
+            let path = path.clone();
+            let start = k.now();
+            k.schedule_in(extra, move |k| {
+                k.start_flow(&path, bytes, move |k| {
+                    rbuf.copy_from(roff, &sbuf, soff, bytes);
+                    if k.trace.is_enabled() {
+                        k.trace
+                            .record(track, format!("{label} {bytes}B"), "mpi", start, k.now());
+                    }
+                    k.complete(&send_done);
+                    k.complete(&recv_done);
+                    let mut st = chan.lock();
+                    let done = {
+                        let r = st.cur.as_mut().expect("round live until last partition");
+                        r.remaining -= 1;
+                        r.remaining == 0
+                    };
+                    if done {
+                        st.cur = None;
+                        st.rounds_done += 1;
+                    }
+                });
             });
         }
     }

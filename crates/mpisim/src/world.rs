@@ -27,6 +27,14 @@ pub struct WorldConfig {
     pub data_mode: DataMode,
     /// Whether the MPI library accepts device pointers.
     pub cuda_aware: bool,
+    /// Whether the MPI library implements persistent requests
+    /// (`send_init`/`recv_init`/`start`). Off by default, like
+    /// `cuda_aware`: runs that never ask for the capability are
+    /// bit-identical to builds without it.
+    pub mpi_persistent: bool,
+    /// Whether the MPI library implements partitioned communication
+    /// (`psend_init`/`precv_init`/`pready`). Off by default.
+    pub mpi_partitioned: bool,
     /// Record a timeline trace.
     pub trace: bool,
     /// Record metrics (counters, gauges, histograms across every layer).
@@ -47,6 +55,8 @@ impl WorldConfig {
             mpi_cost: MpiCostModel::default(),
             data_mode: DataMode::Full,
             cuda_aware: false,
+            mpi_persistent: false,
+            mpi_partitioned: false,
             trace: false,
             metrics: false,
             faults: FaultSchedule::new(),
@@ -56,6 +66,19 @@ impl WorldConfig {
     /// Enable/disable CUDA-aware MPI.
     pub fn cuda_aware(mut self, on: bool) -> Self {
         self.cuda_aware = on;
+        self
+    }
+
+    /// Enable/disable persistent-request support in the simulated MPI.
+    pub fn mpi_persistent(mut self, on: bool) -> Self {
+        self.mpi_persistent = on;
+        self
+    }
+
+    /// Enable/disable partitioned-communication support in the simulated
+    /// MPI.
+    pub fn mpi_partitioned(mut self, on: bool) -> Self {
+        self.mpi_partitioned = on;
         self
     }
 
@@ -154,6 +177,8 @@ where
             machine,
             config.mpi_cost.clone(),
             config.cuda_aware,
+            config.mpi_persistent,
+            config.mpi_partitioned,
             config.ranks_per_node,
         )
     });

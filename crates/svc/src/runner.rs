@@ -22,7 +22,7 @@ use faultsim::FaultSchedule;
 use gpusim::DataMode;
 use mpisim::{run_world, WorldConfig};
 use parking_lot::Mutex;
-use stencil_core::{DomainBuilder, Neighborhood, Placement};
+use stencil_core::{DomainBuilder, Method, Neighborhood, Placement};
 
 use crate::spec::JobSpec;
 
@@ -84,8 +84,13 @@ pub fn execute_with(spec: &JobSpec, hooks: RunHooks) -> RunOutcome {
     let faults = hooks
         .fault_override
         .unwrap_or_else(|| spec.faults.schedule());
+    // The MPI stack's transport capabilities follow the requested method
+    // set: asking for persistent/partitioned rungs implies a stack that
+    // provides them. No new wire fields — `methods_bits` already carries it.
     let world = WorldConfig::new(spec.cluster.cluster_spec(), spec.ranks_per_node)
         .cuda_aware(spec.cuda_aware)
+        .mpi_persistent(spec.methods.contains(Method::PersistentStaged))
+        .mpi_partitioned(spec.methods.contains(Method::PartitionedStaged))
         .data_mode(DataMode::Virtual)
         .metrics(spec.collect_metrics)
         .faults(faults);

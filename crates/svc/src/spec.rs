@@ -712,6 +712,10 @@ mod tests {
         for spec in [
             sample(),
             JobSpec::new("t", ClusterPreset::Dgx { nodes: 1 }, 8, [64, 64, 64]),
+            JobSpec::new("t", ClusterPreset::Summit { nodes: 4 }, 6, [96, 96, 96])
+                .methods(Methods::staged_only().with_persistent()),
+            JobSpec::new("t", ClusterPreset::Summit { nodes: 4 }, 6, [96, 96, 96])
+                .methods(Methods::all().with_persistent().with_partitioned()),
             JobSpec::new("t", ClusterPreset::Workstation { gpus: 4 }, 4, [64, 64, 64])
                 .faults(FaultScenario::StragglerGpu {
                     device: 2,
@@ -746,6 +750,26 @@ mod tests {
             let back = JobSpec::from_json(&json).unwrap_or_else(|e| panic!("{e}: {json}"));
             assert_eq!(back, spec, "{json}");
         }
+    }
+
+    #[test]
+    fn transport_method_bits_survive_wire_and_affect_digest() {
+        // PERSISTENT / PARTITIONED ride the existing `methods_bits` field:
+        // no schema bump, but specs differing only in transport must hash
+        // (and therefore cache) differently.
+        let a = sample();
+        let mut b = sample();
+        b.methods = b.methods.with_persistent().with_partitioned();
+        assert_ne!(a.digest(), b.digest());
+        let json = b.to_json();
+        let back = JobSpec::from_json(&json).unwrap();
+        assert_eq!(back, b);
+        assert!(back
+            .methods
+            .contains(stencil_core::Method::PersistentStaged));
+        assert!(back
+            .methods
+            .contains(stencil_core::Method::PartitionedStaged));
     }
 
     #[test]

@@ -116,6 +116,35 @@ fn worker_count_never_changes_results() {
 }
 
 #[test]
+fn partitioned_transport_deterministic_across_worker_counts() {
+    // Partitioned channels add per-partition flow completions; their
+    // arrival order must be a function of virtual time only, never of the
+    // worker pool driving the jobs.
+    let spec = JobSpec::new("ptn", ClusterPreset::Summit { nodes: 2 }, 6, [96, 96, 96])
+        .methods(
+            stencil_core::Methods::all()
+                .with_persistent()
+                .with_partitioned(),
+        )
+        .iters(3)
+        .collect_metrics(true);
+    let run = |workers: usize| {
+        let service = Service::new(ServiceConfig {
+            workers,
+            queue_capacity: 4,
+            default_timeout_ms: None,
+        });
+        let r = service.submit(spec.clone()).expect("admitted").wait();
+        service.shutdown();
+        r
+    };
+    let one = run(1);
+    assert_eq!(one.status, svc::JobStatus::Completed, "{:?}", one.error);
+    let eight = run(8);
+    assert_same_bits(&one, &eight, "partitioned probe, 1 vs 8 workers");
+}
+
+#[test]
 fn digest_groups_the_same_workload_across_tenants() {
     // Tenant and weight are scheduling attributes, not workload: the same
     // geometry submitted by two tenants lands in one digest group and

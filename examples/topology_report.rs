@@ -38,6 +38,8 @@ fn main() {
                 same_node: true,
                 peer_access: true,
                 cuda_aware: false,
+                persistent: false,
+                partitioned: false,
             },
         ),
         (
@@ -48,6 +50,8 @@ fn main() {
                 same_node: true,
                 peer_access: true,
                 cuda_aware: false,
+                persistent: false,
+                partitioned: false,
             },
         ),
         (
@@ -58,6 +62,8 @@ fn main() {
                 same_node: true,
                 peer_access: true,
                 cuda_aware: false,
+                persistent: false,
+                partitioned: false,
             },
         ),
         (
@@ -68,6 +74,8 @@ fn main() {
                 same_node: true,
                 peer_access: false,
                 cuda_aware: false,
+                persistent: false,
+                partitioned: false,
             },
         ),
         (
@@ -78,6 +86,8 @@ fn main() {
                 same_node: false,
                 peer_access: false,
                 cuda_aware: false,
+                persistent: false,
+                partitioned: false,
             },
         ),
     ] {
