@@ -33,6 +33,9 @@ echo "==> chaos smoke (chaos --quick)"
 ./target/release/chaos --quick --iters 2 --metrics /tmp/chaos_smoke.json
 test -s /tmp/chaos_smoke.json
 
+echo "==> elastic recovery contract (chaos --scenario kill-respawn --validate)"
+./target/release/chaos --quick --iters 2 --scenario kill-respawn --validate
+
 echo "==> mapper smoke (mapperf --quick --validate)"
 ./target/release/mapperf --quick --validate --json /tmp/mapperf_smoke.json
 test -s /tmp/mapperf_smoke.json

@@ -1,13 +1,16 @@
 //! Chaos bench: named deterministic fault scenarios over the simulated
 //! cluster, measuring how halo-exchange time responds — and, for the
-//! headline `degraded-triad` scenario, how much of the loss adaptive
-//! re-placement recovers.
+//! adaptation scenarios, how much of the loss adaptive re-placement
+//! recovers.
 //!
 //! ```text
-//! chaos [--quick] [--iters N] [--metrics PATH] [--scenario NAME]...
+//! chaos [--quick] [--iters N] [--metrics PATH] [--validate] [--scenario NAME]...
 //! ```
 //!
-//! Scenarios (default: all):
+//! Scenario names come from the [`faultsim::Scenario`] registry — the same
+//! table the service wire format uses — so `--scenario` accepts exactly
+//! the strings that `svc` specs do. Default: every registered scenario.
+//!
 //! - `degraded-triad`: the healthy placement's busiest NVLink drops to
 //!   10% mid-run; compares no-adaptation, adaptive re-placement, and a
 //!   fresh-optimal rebuild.
@@ -18,14 +21,26 @@
 //! - `straggler-gpu`: one device's pack/unpack engine runs at 25%.
 //! - `cascading`: triad degradation, then a NIC flap, then a straggler,
 //!   all live at once by the end.
+//! - `kill-respawn`: a rank dies mid-run alongside correlated fabric
+//!   degradation, respawns, and rejoins; compares no adaptation,
+//!   stop-the-world re-placement, overlapped localized re-placement, and
+//!   a fresh-optimal rebuild.
+//! - `oom-respawn`: the same recovery, but the kill is a device
+//!   out-of-memory event (the device's memory limit shrinks to 5% while
+//!   the rank is down).
+//!
+//! `--validate` asserts each scenario's contract (the fault bites;
+//! adaptation recovers to within 10% of fresh-optimal; stop-the-world
+//! pays more migration downtime than overlapped) — the CI hook.
 //!
 //! Every scenario is driven by an explicit event table in virtual time —
 //! no randomness — so repeated runs are bit-identical.
 
 use detsim::SimDuration;
-use faultsim::FaultSchedule;
+use faultsim::{FaultSchedule, Scenario};
 use stencil_bench::chaos::{
-    degraded_fat_node_run, degraded_triad_run, heaviest_triad_pair, TriadMode,
+    degraded_fat_node_run, degraded_triad_run, heaviest_triad_pair, kill_recovery_run,
+    RecoveryMode, TriadMode,
 };
 use stencil_bench::{
     fmt_ms, measure_exchange, node_aware_placements, write_metrics_json, ExchangeConfig,
@@ -36,7 +51,8 @@ struct ChaosArgs {
     quick: bool,
     iters: usize,
     metrics: Option<String>,
-    scenarios: Vec<String>,
+    validate: bool,
+    scenarios: Vec<Scenario>,
 }
 
 fn parse_args() -> ChaosArgs {
@@ -45,6 +61,7 @@ fn parse_args() -> ChaosArgs {
         quick: false,
         iters: 3,
         metrics: None,
+        validate: false,
         scenarios: Vec::new(),
     };
     let operand = |i: usize| -> &String {
@@ -58,6 +75,10 @@ fn parse_args() -> ChaosArgs {
                 parsed.quick = true;
                 i += 1;
             }
+            "--validate" => {
+                parsed.validate = true;
+                i += 1;
+            }
             "--iters" => {
                 parsed.iters = operand(i).parse().expect("--iters N");
                 i += 2;
@@ -67,24 +88,25 @@ fn parse_args() -> ChaosArgs {
                 i += 2;
             }
             "--scenario" => {
-                parsed.scenarios.push(operand(i).clone());
+                let name = operand(i);
+                let scenario = Scenario::parse(name).unwrap_or_else(|| {
+                    let known: Vec<&str> = Scenario::ALL.iter().map(|s| s.name()).collect();
+                    panic!("unknown scenario {name} (known: {})", known.join(", "))
+                });
+                parsed.scenarios.push(scenario);
                 i += 2;
             }
             other => panic!(
-                "unknown flag {other} (expected --quick / --iters N / --metrics PATH / --scenario NAME)"
+                "unknown flag {other} (expected --quick / --iters N / --metrics PATH / --validate / --scenario NAME)"
             ),
         }
     }
     if parsed.scenarios.is_empty() {
-        parsed.scenarios = [
-            "degraded-triad",
-            "degraded-fat-node",
-            "flapping-nic",
-            "straggler-gpu",
-            "cascading",
-        ]
-        .map(String::from)
-        .to_vec();
+        parsed.scenarios = Scenario::ALL
+            .iter()
+            .copied()
+            .filter(|s| *s != Scenario::None)
+            .collect();
     }
     parsed
 }
@@ -94,14 +116,16 @@ fn main() {
     println!("Chaos — deterministic fault injection over the simulated cluster");
     println!("================================================================");
     let mut last_report = None;
-    for name in &args.scenarios {
-        match name.as_str() {
-            "degraded-triad" => degraded_triad(&args, &mut last_report),
-            "degraded-fat-node" => degraded_fat_node(&args, &mut last_report),
-            "flapping-nic" => flapping_nic(&args, &mut last_report),
-            "straggler-gpu" => straggler_gpu(&args, &mut last_report),
-            "cascading" => cascading(&args, &mut last_report),
-            other => panic!("unknown scenario {other}"),
+    for scenario in &args.scenarios {
+        match scenario {
+            Scenario::None => println!("none: no faults injected, nothing to run"),
+            Scenario::DegradedTriad => degraded_triad(&args, &mut last_report),
+            Scenario::DegradedFatNode => degraded_fat_node(&args, &mut last_report),
+            Scenario::FlappingNic => flapping_nic(&args, &mut last_report),
+            Scenario::StragglerGpu => straggler_gpu(&args, &mut last_report),
+            Scenario::Cascading => cascading(&args, &mut last_report),
+            Scenario::KillRespawn => recovery(&args, false, &mut last_report),
+            Scenario::OomRespawn => recovery(&args, true, &mut last_report),
         }
         println!();
     }
@@ -148,6 +172,14 @@ fn degraded_triad(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsRepo
         adapt.degraded_mean / fresh.degraded_mean,
         no_adapt.degraded_mean / adapt.degraded_mean
     );
+    if args.validate {
+        assert!(adapt.adapted, "validate: adaptation failed to trigger");
+        assert!(
+            no_adapt.degraded_mean > adapt.degraded_mean,
+            "validate: adapting should beat the stale placement"
+        );
+        println!("  validate: OK");
+    }
     if let Some(r) = adapt.metrics {
         *last_report = Some(r);
     }
@@ -192,7 +224,111 @@ fn degraded_fat_node(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsR
         adapt.degraded_mean / fresh.degraded_mean,
         no_adapt.degraded_mean / adapt.degraded_mean
     );
+    if args.validate {
+        assert!(adapt.adapted, "validate: adaptation failed to trigger");
+        assert!(
+            no_adapt.degraded_mean > adapt.degraded_mean,
+            "validate: adapting should beat the stale placement"
+        );
+        println!("  validate: OK");
+    }
     if let Some(r) = adapt.metrics {
+        *last_report = Some(r);
+    }
+}
+
+/// The rank-failure recovery scenario (and its OOM flavor): four arms over
+/// the identical correlated fault — no adaptation, stop-the-world
+/// re-placement, overlapped localized re-placement, fresh-optimal rebuild.
+fn recovery(args: &ChaosArgs, oom: bool, last_report: &mut Option<detsim::MetricsReport>) {
+    let domain = if args.quick {
+        [720, 726, 350]
+    } else {
+        [1440, 1452, 700]
+    };
+    let (warmup, measure) = (3, args.iters.max(2));
+    let cause = if oom {
+        "oom-respawn: device 8 hits a shrunken memory limit and its rank 4 dies"
+    } else {
+        "kill-respawn: rank 4 dies"
+    };
+    println!(
+        "{cause}, respawns 300us later; node 1's busiest NVLink -> 2%, inter-node switch -> 70%, domain {}x{}x{}",
+        domain[0], domain[1], domain[2]
+    );
+    let no_adapt = kill_recovery_run(domain, warmup, measure, RecoveryMode::NoAdapt, oom);
+    let stw = kill_recovery_run(
+        domain,
+        warmup,
+        measure,
+        RecoveryMode::StopTheWorldAdapt,
+        oom,
+    );
+    let ovl = kill_recovery_run(domain, warmup, measure, RecoveryMode::OverlappedAdapt, oom);
+    let fresh = kill_recovery_run(domain, warmup, measure, RecoveryMode::FreshOptimal, oom);
+    println!(
+        "  healthy placement, pre-fault : {}",
+        fmt_ms(no_adapt.healthy_mean)
+    );
+    println!(
+        "  stale placement, post-rejoin : {}  ({:.2}x healthy)",
+        fmt_ms(no_adapt.steady_mean),
+        no_adapt.steady_mean / no_adapt.healthy_mean
+    );
+    println!(
+        "  stop-the-world re-placement  : {}  (migration downtime {})",
+        fmt_ms(stw.steady_mean),
+        fmt_ms(stw.migrate_secs)
+    );
+    println!(
+        "  overlapped re-placement      : {}  (migration downtime {}, re-solved node {})",
+        fmt_ms(ovl.steady_mean),
+        fmt_ms(ovl.migrate_secs),
+        match ovl.adapted_node {
+            Some(Some(n)) => n.to_string(),
+            Some(None) => "all".to_string(),
+            None => "-".to_string(),
+        }
+    );
+    println!(
+        "  fresh-optimal (lower bound)  : {}",
+        fmt_ms(fresh.steady_mean)
+    );
+    println!(
+        "  overlapped recovers to {:.2}x fresh-optimal; not adapting costs {:.2}x; stop-the-world pays {:.2}x its migration downtime",
+        ovl.steady_mean / fresh.steady_mean,
+        no_adapt.steady_mean / ovl.steady_mean,
+        stw.migrate_secs / ovl.migrate_secs
+    );
+    if args.validate {
+        assert!(
+            !no_adapt.adapted && stw.adapted && ovl.adapted,
+            "validate: adaptation arms disagree (no_adapt {}, stw {}, ovl {})",
+            no_adapt.adapted,
+            stw.adapted,
+            ovl.adapted
+        );
+        assert!(
+            ovl.steady_mean <= 1.10 * fresh.steady_mean,
+            "validate: overlapped recovery missed fresh-optimal: {:.3e} s vs {:.3e} s",
+            ovl.steady_mean,
+            fresh.steady_mean
+        );
+        assert!(
+            no_adapt.steady_mean > 1.2 * ovl.steady_mean,
+            "validate: not adapting should be measurably worse: {:.3e} s vs {:.3e} s",
+            no_adapt.steady_mean,
+            ovl.steady_mean
+        );
+        assert!(
+            stw.migrate_secs > 1.1 * ovl.migrate_secs,
+            "validate: stop-the-world should pay more downtime: {:.3e} s vs {:.3e} s",
+            stw.migrate_secs,
+            ovl.migrate_secs
+        );
+        println!("  validate: OK");
+    }
+    if let Some(r) = ovl.metrics {
         *last_report = Some(r);
     }
 }
@@ -202,6 +338,7 @@ fn faulted_vs_clean(
     label: &str,
     cfg: ExchangeConfig,
     faults: FaultSchedule,
+    validate: bool,
     last_report: &mut Option<detsim::MetricsReport>,
 ) {
     let clean = measure_exchange(&cfg);
@@ -213,6 +350,13 @@ fn faulted_vs_clean(
         fmt_ms(faulted.mean),
         faulted.mean / clean.mean
     );
+    if validate {
+        assert!(
+            faulted.mean >= clean.mean,
+            "validate: the fault should not speed the exchange up"
+        );
+        println!("  validate: OK");
+    }
     if let Some(r) = faulted.metrics {
         *last_report = Some(r);
     }
@@ -229,7 +373,13 @@ fn flapping_nic(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsReport
         SimDuration::from_micros(250),
         3,
     );
-    faulted_vs_clean("2n/6r staged over IB", cfg, faults, last_report);
+    faulted_vs_clean(
+        "2n/6r staged over IB",
+        cfg,
+        faults,
+        args.validate,
+        last_report,
+    );
 }
 
 fn straggler_gpu(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsReport>) {
@@ -237,7 +387,7 @@ fn straggler_gpu(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsRepor
     println!("straggler-gpu: device 2's pack engine at 5% from t=0 (1 node, {extent}^3)");
     let cfg = ExchangeConfig::new(1, 6, extent).iters(args.iters);
     let faults = FaultSchedule::straggler_gpu(2, SimDuration::ZERO, 0.05);
-    faulted_vs_clean("1n/6r all methods", cfg, faults, last_report);
+    faulted_vs_clean("1n/6r all methods", cfg, faults, args.validate, last_report);
 }
 
 fn cascading(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsReport>) {
@@ -256,5 +406,5 @@ fn cascading(args: &ChaosArgs, last_report: &mut Option<detsim::MetricsReport>) 
         SimDuration::from_micros(100),
         SimDuration::from_micros(300),
     );
-    faulted_vs_clean("2n/6r all methods", cfg, faults, last_report);
+    faulted_vs_clean("2n/6r all methods", cfg, faults, args.validate, last_report);
 }

@@ -1,14 +1,14 @@
 //! Resilience scenario harness shared by the `chaos` bench binary and the
-//! degraded-triad acceptance test.
+//! degraded-triad / kill-respawn acceptance tests.
 //!
-//! The headline scenario follows the paper's premise in reverse: placement
+//! The headline scenarios follow the paper's premise in reverse: placement
 //! matches exchange volume to link bandwidth, so when a link's bandwidth
-//! collapses mid-run the placement is suddenly wrong. The harness runs the
-//! same physical fault under three policies — keep the stale placement,
-//! adapt ([`stencil_core::HealthMonitor`] +
-//! `DistributedDomain::adapt_placement`), or rebuild from scratch against
-//! the degraded substrate (the recovery target) — and reports steady-state
-//! exchange times for each.
+//! collapses mid-run — or a rank dies and takes its placement state with
+//! it — the placement is suddenly wrong. The harness runs the same
+//! physical fault under several policies — keep the stale placement, adapt
+//! ([`stencil_core::AdaptPolicy`] + `DistributedDomain::adapt`), or
+//! rebuild from scratch against the degraded substrate (the recovery
+//! target) — and reports steady-state exchange times for each.
 
 use std::sync::Arc;
 
@@ -20,8 +20,8 @@ use parking_lot::Mutex;
 use stencil_core::dim3::Boundary;
 use stencil_core::placement::flow_matrix_bc;
 use stencil_core::{
-    DomainBuilder, Health, HealthMonitor, Methods, Neighborhood, Partition, Placement,
-    PlacementStrategy, Radius,
+    AdaptOutcome, AdaptPolicy, AdaptScope, DomainBuilder, Methods, MigrationMode, Neighborhood,
+    Partition, Placement, PlacementStrategy, Radius,
 };
 use topo::presets::fat_cluster;
 use topo::summit::summit_cluster;
@@ -35,8 +35,8 @@ pub enum TriadMode {
     /// Keep the pre-fault placement: the control arm showing the cost of
     /// not adapting.
     NoAdapt,
-    /// Detect the degradation with a [`HealthMonitor`] and trigger
-    /// adaptive re-placement.
+    /// Detect the degradation with a [`stencil_core::HealthMonitor`] and
+    /// trigger adaptive re-placement.
     Adapt,
     /// Build the domain from scratch with empirical placement while the
     /// fault is already live — the fresh-optimal recovery target that
@@ -84,7 +84,20 @@ pub fn heaviest_island_pair(
     quantities: usize,
     gpus_per_island: usize,
 ) -> (usize, usize) {
-    let idx = part.node_from_linear(0);
+    heaviest_island_pair_at(part, placement, 0, radius, quantities, gpus_per_island)
+}
+
+/// As [`heaviest_island_pair`], against the flow matrix of an arbitrary
+/// node (the linear node index) — for faults aimed at nodes other than 0.
+pub fn heaviest_island_pair_at(
+    part: &Partition,
+    placement: &Placement,
+    node: usize,
+    radius: u64,
+    quantities: usize,
+    gpus_per_island: usize,
+) -> (usize, usize) {
+    let idx = part.node_from_linear(node);
     let w = flow_matrix_bc(
         part,
         idx,
@@ -147,8 +160,9 @@ pub fn degraded_triad_run(
 /// ([`topo::presets::fat_node`]`(2, 2, 3)` — two NVLink islands per
 /// socket), exercising the placement ladder's *heuristic* rung end to end
 /// (12 > `qap::EXHAUSTIVE_MAX_N`, so both the initial placement and
-/// `adapt_placement`'s parallel re-solve run delta-2-opt/multilevel, not
-/// exhaustive search). Detection threshold is lower than the triad run's
+/// `DistributedDomain::adapt`'s parallel re-solve run delta-2-opt/
+/// multilevel, not exhaustive search). Detection threshold is lower than
+/// the triad run's
 /// because 10 unaffected ranks dilute the degraded pair in the mean.
 pub fn degraded_fat_node_run(
     domain: [u64; 3],
@@ -174,7 +188,8 @@ pub fn degraded_fat_node_run(
 /// preset: build under a healthy node-aware placement, degrade the
 /// placement's busiest intra-island NVLink to `bandwidth_factor` ×
 /// nominal mid-run, and respond per `mode`. `monitor_threshold` is the
-/// [`HealthMonitor`] degradation factor (how much the fleet-mean exchange
+/// [`stencil_core::HealthMonitor`] degradation factor (how much the
+/// fleet-mean exchange
 /// time must exceed baseline — scale it down for nodes with many
 /// unaffected ranks). See [`degraded_triad_run`] for the Summit headline
 /// configuration.
@@ -242,7 +257,10 @@ pub fn degraded_island_run(
         // fault on one link is diluted by the unaffected ranks — 1.25x of
         // baseline is already a large, localized hit (and the simulation is
         // deterministic, so healthy windows sit exactly on the baseline).
-        let mut monitor = HealthMonitor::new(monitor_threshold, warmup_iters);
+        let mut monitor = AdaptPolicy::new()
+            .threshold(monitor_threshold)
+            .warmup_windows(warmup_iters)
+            .monitor();
 
         let mut mine = Vec::with_capacity(warmup_iters);
         for _ in 0..warmup_iters {
@@ -276,14 +294,12 @@ pub fn degraded_island_run(
                 ctx.barrier();
                 dom.exchange(ctx);
                 ctx.barrier();
-                let health = monitor.check(ctx);
                 if mode == TriadMode::Adapt {
-                    if let Health::Degraded { .. } = health {
-                        if dom.adapt_placement(ctx) {
-                            *af.lock() = true;
-                        }
-                        monitor.rebaseline();
+                    if let AdaptOutcome::Migrated { .. } = dom.adapt(ctx, &mut monitor) {
+                        *af.lock() = true;
                     }
+                } else {
+                    monitor.check(ctx);
                 }
             }
         }
@@ -311,6 +327,246 @@ pub fn degraded_island_run(
         healthy_mean,
         degraded_mean,
         adapted,
+        metrics: report.metrics,
+    }
+}
+
+/// Policy for responding to the correlated kill-respawn fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Rejoin after the respawn but keep the stale placement: the control
+    /// arm showing the cost of ignoring the correlated link degradation.
+    NoAdapt,
+    /// Rejoin, then adapt with the naive policy: global re-probe/re-solve
+    /// and [`MigrationMode::StopTheWorld`] migration.
+    StopTheWorldAdapt,
+    /// Rejoin, then adapt with the full policy: per-link localization
+    /// ([`AdaptScope::Localized`]) and [`MigrationMode::Overlapped`]
+    /// migration.
+    OverlappedAdapt,
+    /// Build from scratch with empirical placement while the degradation
+    /// is already live (no kill) — the fresh-optimal recovery target.
+    FreshOptimal,
+}
+
+/// Outcome of one kill-respawn recovery run.
+#[derive(Clone, Debug)]
+pub struct RecoveryRun {
+    /// Mean max-across-ranks exchange seconds before the fault (for
+    /// [`RecoveryMode::FreshOptimal`], under the already-degraded
+    /// substrate).
+    pub healthy_mean: f64,
+    /// Mean max-across-ranks exchange seconds in the recovered steady
+    /// state.
+    pub steady_mean: f64,
+    /// Max-across-ranks virtual seconds from the fault installation to the
+    /// end of the reaction phase (down-window + rejoin + detection +
+    /// migration).
+    pub recovery_secs: f64,
+    /// Max-across-ranks virtual seconds spent inside the `adapt` call that
+    /// migrated (probe + re-solve + data movement); `0.0` when nothing
+    /// migrated.
+    pub migrate_secs: f64,
+    /// Whether adaptation migrated the placement.
+    pub adapted: bool,
+    /// The [`AdaptOutcome::Migrated`] `node` field: `Some(Some(n))` when
+    /// localization re-solved only node `n`, `Some(None)` for a global
+    /// re-solve, `None` when nothing migrated.
+    pub adapted_node: Option<Option<usize>>,
+    /// Metrics snapshot of the run.
+    pub metrics: Option<MetricsReport>,
+}
+
+/// Run the correlated kill-respawn (or OOM-respawn, with `oom`) scenario
+/// on two Summit nodes, 3 ranks each: rank 4 dies mid-run while — same
+/// root cause, think a failing PCIe riser — node 1's busiest placed NVLink
+/// drops to 2% and the inter-node switch to 70% of nominal. The rank
+/// respawns 300 virtual µs later with its device data gone, rejoins via
+/// `DistributedDomain::rejoin_after_respawn` (the re-handshake over the
+/// revoked communicator), and the world reacts per `mode`.
+///
+/// With `oom`, the kill is an OOM event: the victim's first device shrinks
+/// to 5% memory for the down-window (its post-death allocations fail), and
+/// is restored just before the respawn.
+///
+/// All modes share the physical fault, so steady-state times are directly
+/// comparable; runs are deterministic, so repeated runs are bit-identical.
+pub fn kill_recovery_run(
+    domain: [u64; 3],
+    warmup_iters: usize,
+    measure_iters: usize,
+    mode: RecoveryMode,
+    oom: bool,
+) -> RecoveryRun {
+    assert!(warmup_iters >= 1 && measure_iters >= 1);
+    let cluster = summit_cluster(2);
+    let ranks_per_node = 3;
+    let num_ranks = 2 * ranks_per_node;
+    let victim = 4usize; // node 1, local rank 1 -> devices 8 and 9
+    let victim_device = 8usize;
+    let kill_at = SimDuration::from_micros(50);
+    let down_for = SimDuration::from_micros(300);
+    let gpn = cluster.node.num_gpus();
+
+    let cfg = ExchangeConfig::new(2, ranks_per_node, 0).domain(domain);
+    let healthy = node_aware_placements_for(&cfg, &cluster.node);
+    let part = Partition::new(domain, 2, gpn);
+    // Aim the link degradation at node 1's busiest placed NVLink so the
+    // stale placement really is wrong afterwards.
+    let (a, b) = heaviest_island_pair_at(&part, &healthy[1], 1, cfg.radius, cfg.quantities, 3);
+    // 2% NVLink bandwidth: with two nodes the inter-node leg dominates the
+    // critical path, so a milder intra-node degradation would hide behind
+    // it and never clear the detection threshold.
+    let degrade = |at: SimDuration| {
+        FaultSchedule::degraded_triad(1, a, b, at, 0.02)
+            .merge(FaultSchedule::degraded_switch(0, 2, at, 0.7))
+    };
+    let fault = degrade(kill_at).merge(if oom {
+        FaultSchedule::oom_respawn(victim_device, victim, kill_at, down_for, 0.05)
+    } else {
+        FaultSchedule::kill_respawn(victim, kill_at, down_for)
+    });
+
+    let radius = cfg.radius;
+    let quantities = cfg.quantities;
+    let healthy_times: Arc<Mutex<Vec<Vec<f64>>>> =
+        Arc::new(Mutex::new(vec![Vec::new(); num_ranks]));
+    let steady_times: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(vec![Vec::new(); num_ranks]));
+    let recovery_secs = Arc::new(Mutex::new(vec![0.0f64; num_ranks]));
+    let migrate_secs = Arc::new(Mutex::new(vec![0.0f64; num_ranks]));
+    let adapted_node: Arc<Mutex<Option<Option<usize>>>> = Arc::new(Mutex::new(None));
+    let (ht, st, rs, ms, an) = (
+        Arc::clone(&healthy_times),
+        Arc::clone(&steady_times),
+        Arc::clone(&recovery_secs),
+        Arc::clone(&migrate_secs),
+        Arc::clone(&adapted_node),
+    );
+
+    let mut world = WorldConfig::new(cluster, ranks_per_node)
+        .data_mode(DataMode::Virtual)
+        .metrics(true);
+    if mode == RecoveryMode::FreshOptimal {
+        world = world.faults(degrade(SimDuration::ZERO));
+    }
+    let report = run_world(world, move |ctx| {
+        let me = ctx.rank();
+        let mut builder = DomainBuilder::new(domain)
+            .radius(radius)
+            .quantities(quantities)
+            .neighborhood(Neighborhood::Full26)
+            .methods(Methods::all());
+        builder = match mode {
+            RecoveryMode::FreshOptimal => builder.placement(PlacementStrategy::Empirical),
+            _ => builder.preplaced(Arc::clone(&healthy)),
+        };
+        let mut dom = builder.build(ctx);
+        let mut monitor = match mode {
+            RecoveryMode::StopTheWorldAdapt => AdaptPolicy::new()
+                .warmup_windows(warmup_iters)
+                .scope(AdaptScope::Global)
+                .mode(MigrationMode::StopTheWorld),
+            _ => AdaptPolicy::new()
+                .warmup_windows(warmup_iters)
+                .scope(AdaptScope::Localized)
+                .mode(MigrationMode::Overlapped),
+        }
+        .monitor();
+
+        let mut mine = Vec::with_capacity(warmup_iters);
+        for _ in 0..warmup_iters {
+            ctx.barrier();
+            let t0 = ctx.wtime();
+            dom.exchange(ctx);
+            mine.push(ctx.wtime() - t0);
+            ctx.barrier();
+            monitor.check(ctx);
+        }
+        ht.lock()[me] = mine;
+
+        if mode != RecoveryMode::FreshOptimal {
+            // Install the correlated fault mid-run: kill + link + switch
+            // degradation, one event table, one root cause.
+            ctx.barrier();
+            let t_fault = ctx.wtime();
+            if me == 0 {
+                let now = ctx.sim().with_kernel(|k| k.now());
+                ctx.install_faults_at(&fault, now);
+            }
+            ctx.barrier();
+            // Step past the kill instant so every rank observes the death.
+            ctx.sim().delay(kill_at + SimDuration::from_micros(10));
+            if !ctx.is_alive(me) {
+                // We are the simulated casualty: device state is gone.
+                dom.abandon_local_state(ctx);
+                if oom {
+                    // The OOM that killed us also shrank the device; until
+                    // the restore, allocations keep failing.
+                    let limit = ctx.machine().device_mem_limit(victim_device);
+                    let err = ctx.machine().alloc_device_untimed(victim_device, limit + 1);
+                    assert!(
+                        matches!(err, Err(gpusim::GpuError::OutOfMemory { .. })),
+                        "post-OOM allocation should fail while the device is shrunk"
+                    );
+                }
+                ctx.await_respawn(me);
+            } else {
+                ctx.await_all_alive();
+            }
+            ctx.barrier();
+            // Whole world again: re-handshake and reallocate the victim.
+            dom.rejoin_after_respawn(ctx);
+
+            // Detection + reaction: the placement is stale against the
+            // degraded NVLink; adapt modes find and fix it.
+            let mut my_migrate = 0.0f64;
+            for _ in 0..2 {
+                ctx.barrier();
+                dom.exchange(ctx);
+                ctx.barrier();
+                if mode == RecoveryMode::NoAdapt {
+                    monitor.check(ctx);
+                } else {
+                    let t0 = ctx.wtime();
+                    if let AdaptOutcome::Migrated { node, .. } = dom.adapt(ctx, &mut monitor) {
+                        my_migrate = ctx.wtime() - t0;
+                        *an.lock() = Some(node);
+                    }
+                }
+            }
+            rs.lock()[me] = ctx.wtime() - t_fault;
+            ms.lock()[me] = my_migrate;
+        }
+
+        let mut mine = Vec::with_capacity(measure_iters);
+        for _ in 0..measure_iters {
+            ctx.barrier();
+            let t0 = ctx.wtime();
+            dom.exchange(ctx);
+            mine.push(ctx.wtime() - t0);
+        }
+        st.lock()[me] = mine;
+    });
+
+    let mean_of = |per_rank: &[Vec<f64>], iters: usize| {
+        let per_iter: Vec<f64> = (0..iters)
+            .map(|i| per_rank.iter().map(|r| r[i]).fold(0.0f64, f64::max))
+            .collect();
+        per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64
+    };
+    let max_of = |v: &[f64]| v.iter().fold(0.0f64, |m, &x| m.max(x));
+    let node = *adapted_node.lock();
+    let healthy_mean = mean_of(&healthy_times.lock(), warmup_iters);
+    let steady_mean = mean_of(&steady_times.lock(), measure_iters);
+    let recovery_secs = max_of(&recovery_secs.lock());
+    let migrate_secs = max_of(&migrate_secs.lock());
+    RecoveryRun {
+        healthy_mean,
+        steady_mean,
+        recovery_secs,
+        migrate_secs,
+        adapted: node.is_some(),
+        adapted_node: node,
         metrics: report.metrics,
     }
 }

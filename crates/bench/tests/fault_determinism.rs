@@ -42,6 +42,31 @@ fn faulted_runs_are_bit_identical_across_runs() {
     );
 }
 
+/// The rank-lifecycle machinery (failure epochs, revocation checks, the
+/// alive-count barrier release) must leave faults-off worlds untouched.
+/// These per-iteration bits were captured before any of it existed; a
+/// drift here means the resilience layer taxed the common case.
+#[test]
+fn faults_off_worlds_match_pre_resilience_golden_bits() {
+    const STAGED_2N: [u64; 3] = [0x3f50e943cb89048a, 0x3f50e943cb890488, 0x3f50e943cb89048a];
+    let r = measure_exchange(&ExchangeConfig::new(2, 6, 472).iters(3));
+    let bits: Vec<u64> = r.per_iter.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        bits,
+        STAGED_2N.to_vec(),
+        "2-node staged faults-off world drifted from the pre-resilience pin"
+    );
+
+    const CUDA_AWARE_1N: [u64; 2] = [0x3f39f3c89f0542e0, 0x3f39f3c89f0542e0];
+    let r = measure_exchange(&ExchangeConfig::new(1, 6, 256).iters(2).cuda_aware(true));
+    let bits: Vec<u64> = r.per_iter.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        bits,
+        CUDA_AWARE_1N.to_vec(),
+        "1-node CUDA-aware faults-off world drifted from the pre-resilience pin"
+    );
+}
+
 #[test]
 fn metrics_do_not_perturb_faulted_virtual_times() {
     let plain = measure_exchange(&faulted_config());

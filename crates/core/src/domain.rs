@@ -196,37 +196,33 @@ impl DistributedDomain {
         } else if spec.placement == PlacementStrategy::Empirical {
             // Empirical placement probes bandwidths *inside* the simulation
             // (collective per node, consumes virtual time), so it cannot be
-            // memoized across ranks — each rank participates.
+            // memoized across ranks — each rank participates. Nodes can
+            // measure *different* matrices (a degraded link, heterogeneous
+            // fabrics), and every rank must place every node identically —
+            // the exchange plan's partner resolution depends on it — so the
+            // matrices are all-gathered and each node's QAP is solved
+            // against its own measurement.
             let d = crate::empirical::distance_from_measured(
                 &crate::empirical::measure_node_bandwidths(
                     ctx,
                     crate::empirical::DEFAULT_PROBE_BYTES,
                 ),
             );
-            let mut by_extent: HashMap<Dim3, Placement> = HashMap::new();
-            let mut placements = Vec::with_capacity(part.num_nodes());
-            for n in 0..part.num_nodes() {
-                let idx = part.node_from_linear(n);
-                let ext = part.node_box(idx).extent;
-                let pl = by_extent
-                    .entry(ext)
-                    .or_insert_with(|| {
-                        crate::placement::place_with_distance(
-                            &part,
-                            idx,
-                            &d,
-                            spec.neighborhood,
-                            &spec.radius,
-                            spec.quantities,
-                            spec.elem_size,
-                            PlacementStrategy::Empirical,
-                            spec.boundary,
-                        )
-                    })
-                    .clone();
-                placements.push(pl);
-            }
-            placements
+            let all: Vec<Vec<Vec<f64>>> = ctx.all_gather_obj(crate::resilience::ADAPT_BW_TAG, d);
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            crate::resilience::resolve_node_placements(
+                &part,
+                spec.neighborhood,
+                &spec.radius,
+                spec.quantities,
+                spec.elem_size,
+                spec.boundary,
+                &all,
+                ctx.ranks_per_node(),
+                threads,
+            )
         } else {
             // Topology-derived placement is a pure, deterministic function
             // of (partition, node topology, spec): every rank computes an

@@ -93,5 +93,8 @@ pub use overlap::StepTiming;
 pub use partition::Partition;
 pub use placement::{map_nodes, node_flow_graph, Placement, PlacementStrategy};
 pub use radius::Radius;
-pub use resilience::{resolve_node_placements, Health, HealthMonitor};
+pub use resilience::{
+    resolve_node_placements, AdaptOutcome, AdaptPolicy, AdaptScope, Health, HealthMonitor,
+    MigrationMode, SkipReason,
+};
 pub use stats::PlanSummary;

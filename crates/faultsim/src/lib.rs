@@ -10,7 +10,7 @@
 //! *empty* schedule registers zero events, leaving the simulation
 //! bit-identical to one without the subsystem at all.
 //!
-//! Three fault classes cover the paper's placement-invalidating scenarios:
+//! Six fault classes cover the paper's placement-invalidating scenarios:
 //!
 //! * **Link degradation** ([`FaultTarget::NodeLink`] /
 //!   [`FaultTarget::GpuPair`]) — an intra-node NVLink/X-Bus/PCIe link loses
@@ -21,9 +21,21 @@
 //!   links stall to [`STALL_BANDWIDTH_FACTOR`] of nominal for an interval.
 //!   Capacities must stay positive, so a "down" NIC is modeled as a
 //!   near-zero trickle; in-flight messages resume when the NIC comes back.
+//! * **Switch degradation** ([`FaultTarget::Switch`]) — one switch of the
+//!   fat tree degrades, correlating the NICs of every node behind it (see
+//!   `topo::SwitchHierarchy::group_nodes` for the blast radius).
 //! * **Straggler device** ([`FaultTarget::Device`]) — one GPU's
 //!   kernel/copy engine runs at a fraction of nominal speed, slowing its
 //!   compute, packs, and same-device copies.
+//! * **Memory shrink** ([`FaultAction::ShrinkMem`] on a device) — the
+//!   device's usable memory limit drops mid-run; existing allocations
+//!   survive but new ones fail, modeling fenced-off bad HBM pages.
+//! * **Process death** ([`FaultTarget::Rank`] with [`FaultAction::Kill`] /
+//!   [`FaultAction::Respawn`]) — a simulated MPI rank dies and optionally
+//!   comes back. Rank events are *not* applied by [`FaultSchedule::install_at`]
+//!   (this crate knows links and devices, not communicators); the MPI
+//!   layer reads them via [`FaultSchedule::rank_events`] and implements
+//!   the ULFM-style shrink-or-respawn contract (see `docs/RESILIENCE.md`).
 //!
 //! Factors are always relative to the baseline captured at install time, so
 //! repeated degrades do not compound and [`FaultAction::Restore`] returns
@@ -72,6 +84,24 @@ pub enum FaultTarget {
         /// Global device id (`node * gpus_per_node + local`).
         device: usize,
     },
+    /// A switch of the inter-node fabric: the injection and ejection links
+    /// of every node in the contiguous range `[first_node, first_node +
+    /// nodes)` — the blast radius of one fat-tree switch. Use
+    /// `topo::SwitchHierarchy::group_nodes` to derive the range from a
+    /// hierarchy level and group.
+    Switch {
+        /// First node behind the switch.
+        first_node: usize,
+        /// Number of nodes behind the switch.
+        nodes: usize,
+    },
+    /// A simulated MPI rank (process). Only [`FaultAction::Kill`] and
+    /// [`FaultAction::Respawn`] apply; events on this target are skipped
+    /// by [`FaultSchedule::install_at`] and installed by the MPI layer.
+    Rank {
+        /// World rank of the process.
+        rank: usize,
+    },
 }
 
 /// The transition a [`FaultEvent`] applies to its target.
@@ -87,8 +117,24 @@ pub enum FaultAction {
         /// Multiplier on baseline latency (`1.0` = unchanged).
         latency_factor: f64,
     },
-    /// Return the target to the baseline captured at install time.
+    /// Return the target to the baseline captured at install time. On a
+    /// [`FaultTarget::Device`] this also clears any memory-limit override
+    /// applied by [`FaultAction::ShrinkMem`].
     Restore,
+    /// Shrink a device's usable memory limit to `mem_factor` x its
+    /// configured limit. Only valid on [`FaultTarget::Device`]. Existing
+    /// allocations survive; new ones fail against the shrunken limit.
+    ShrinkMem {
+        /// Multiplier on the configured device memory limit, in `(0, 1]`.
+        mem_factor: f64,
+    },
+    /// Kill a rank: its pending sends/receives resolve as revoked, its
+    /// channels are torn down, and survivors observe a shrunken world.
+    /// Only valid on [`FaultTarget::Rank`].
+    Kill,
+    /// Respawn a previously killed rank: it rejoins the world and channels
+    /// re-handshake. Only valid on [`FaultTarget::Rank`].
+    Respawn,
 }
 
 /// One scheduled fault transition.
@@ -135,25 +181,61 @@ impl FaultSchedule {
         self.events.is_empty()
     }
 
-    /// Append a transition. Panics on non-positive or non-finite factors —
-    /// schedules are validated at build time, not at fire time.
+    /// Append a transition. Panics on non-positive or non-finite factors
+    /// or an action/target mismatch — schedules are validated at build
+    /// time, not at fire time.
     pub fn push(mut self, event: FaultEvent) -> Self {
-        if let FaultAction::Degrade {
-            bandwidth_factor,
-            latency_factor,
-        } = event.action
-        {
-            assert!(
-                bandwidth_factor > 0.0 && bandwidth_factor.is_finite(),
-                "bandwidth factor must be positive and finite"
-            );
-            assert!(
-                latency_factor > 0.0 && latency_factor.is_finite(),
-                "latency factor must be positive and finite"
-            );
+        let is_rank = matches!(event.target, FaultTarget::Rank { .. });
+        match event.action {
+            FaultAction::Degrade {
+                bandwidth_factor,
+                latency_factor,
+            } => {
+                assert!(
+                    bandwidth_factor > 0.0 && bandwidth_factor.is_finite(),
+                    "bandwidth factor must be positive and finite"
+                );
+                assert!(
+                    latency_factor > 0.0 && latency_factor.is_finite(),
+                    "latency factor must be positive and finite"
+                );
+                assert!(!is_rank, "Degrade does not apply to a rank target");
+            }
+            FaultAction::Restore => {
+                assert!(!is_rank, "Restore does not apply to a rank target");
+            }
+            FaultAction::ShrinkMem { mem_factor } => {
+                assert!(
+                    mem_factor > 0.0 && mem_factor <= 1.0,
+                    "memory factor must be in (0, 1]"
+                );
+                assert!(
+                    matches!(event.target, FaultTarget::Device { .. }),
+                    "ShrinkMem only applies to a device target"
+                );
+            }
+            FaultAction::Kill | FaultAction::Respawn => {
+                assert!(is_rank, "Kill/Respawn only apply to a rank target");
+            }
         }
         self.events.push(event);
         self
+    }
+
+    /// The rank-lifecycle transitions of the schedule, in insertion order:
+    /// `(offset, rank, action)` with action [`FaultAction::Kill`] or
+    /// [`FaultAction::Respawn`]. [`FaultSchedule::install_at`] skips these;
+    /// the MPI layer installs them against its own state.
+    pub fn rank_events(&self) -> impl Iterator<Item = (SimDuration, usize, FaultAction)> + '_ {
+        self.events.iter().filter_map(|ev| match ev.target {
+            FaultTarget::Rank { rank } => Some((ev.at, rank, ev.action)),
+            _ => None,
+        })
+    }
+
+    /// Whether the schedule contains rank kill/respawn events.
+    pub fn has_rank_events(&self) -> bool {
+        self.rank_events().next().is_some()
     }
 
     /// Degrade `target` to `bandwidth_factor` x baseline bandwidth at `at`
@@ -275,6 +357,65 @@ impl FaultSchedule {
             .merge(Self::straggler_gpu(device, at + spacing + spacing, 0.05))
     }
 
+    /// **degraded-switch**: at `at`, the switch behind nodes
+    /// `[first_node, first_node + nodes)` drops to `bandwidth_factor` x
+    /// nominal on every covered NIC — correlated degradation across a
+    /// whole fat-tree group.
+    pub fn degraded_switch(
+        first_node: usize,
+        nodes: usize,
+        at: SimDuration,
+        bandwidth_factor: f64,
+    ) -> Self {
+        Self::new().degrade(
+            at,
+            FaultTarget::Switch { first_node, nodes },
+            bandwidth_factor,
+        )
+    }
+
+    /// Kill `rank` at `at`, permanently (no respawn).
+    pub fn kill(rank: usize, at: SimDuration) -> Self {
+        Self::new().push(FaultEvent {
+            at,
+            target: FaultTarget::Rank { rank },
+            action: FaultAction::Kill,
+        })
+    }
+
+    /// **kill-respawn**: `rank` dies at `at` and rejoins `down_for` later.
+    pub fn kill_respawn(rank: usize, at: SimDuration, down_for: SimDuration) -> Self {
+        Self::kill(rank, at).push(FaultEvent {
+            at: at + down_for,
+            target: FaultTarget::Rank { rank },
+            action: FaultAction::Respawn,
+        })
+    }
+
+    /// **oom-respawn**: at `at`, device `device`'s memory shrinks to
+    /// `mem_factor` x nominal and its owning `rank` is killed (the OOM
+    /// took the process down); `down_for` later the memory is restored and
+    /// the rank respawns. The caller maps device to owning rank — this
+    /// crate does not know the rank↔device assignment.
+    pub fn oom_respawn(
+        device: usize,
+        rank: usize,
+        at: SimDuration,
+        down_for: SimDuration,
+        mem_factor: f64,
+    ) -> Self {
+        // Order matters at equal timestamps: shrink lands before the kill,
+        // and the memory is restored before the rank rejoins.
+        Self::new()
+            .push(FaultEvent {
+                at,
+                target: FaultTarget::Device { device },
+                action: FaultAction::ShrinkMem { mem_factor },
+            })
+            .restore(at + down_for, FaultTarget::Device { device })
+            .merge(Self::kill_respawn(rank, at, down_for))
+    }
+
     // ----- installation ----------------------------------------------------
 
     /// Install the schedule with event offsets measured from virtual time
@@ -292,14 +433,54 @@ impl FaultSchedule {
     /// schedule registers nothing. Install a schedule exactly once — the
     /// baselines of a second installation would capture any degradation
     /// the first one has already applied.
+    ///
+    /// Rank kill/respawn events are *skipped* here — this layer has no
+    /// notion of a communicator. The MPI layer installs them from
+    /// [`FaultSchedule::rank_events`]; a schedule installed through both
+    /// paths (as `mpisim::run_world` does) gets every event exactly once.
     pub fn install_at(&self, kernel: &mut Kernel, machine: &GpuMachine, base: SimTime) {
         for ev in &self.events {
-            let links: Vec<(LinkId, f64, SimDuration)> = resolve_links(machine, ev.target)
-                .into_iter()
-                .map(|l| (l, kernel.link_capacity(l), kernel.link_latency(l)))
-                .collect();
+            if matches!(ev.target, FaultTarget::Rank { .. }) {
+                continue;
+            }
+            let links: Vec<(LinkId, f64, SimDuration)> = match ev.action {
+                // Memory shrink touches no links (the engine keeps its speed).
+                FaultAction::ShrinkMem { .. } => Vec::new(),
+                _ => resolve_links(machine, ev.target)
+                    .into_iter()
+                    .map(|l| (l, kernel.link_capacity(l), kernel.link_latency(l)))
+                    .collect(),
+            };
+            let mem = match (ev.target, ev.action) {
+                (FaultTarget::Device { device }, FaultAction::ShrinkMem { mem_factor }) => {
+                    let limit = (machine.device_mem_limit(device) as f64 * mem_factor) as u64;
+                    Some((device, Some(limit)))
+                }
+                (FaultTarget::Device { device }, FaultAction::Restore) => Some((device, None)),
+                _ => None,
+            };
             let action = ev.action;
-            kernel.schedule_at(base + ev.at, move |k| apply(k, &links, action));
+            let m = machine.clone();
+            kernel.schedule_at(base + ev.at, move |k| {
+                apply(k, &links, action);
+                if let Some((device, limit)) = mem {
+                    m.set_device_mem_limit(device, limit);
+                    if k.metrics.is_enabled() {
+                        let name = k.link_name(m.engine_link(device)).to_string();
+                        let label = if limit.is_some() {
+                            "shrink-mem"
+                        } else {
+                            "restore-mem"
+                        };
+                        k.metrics.counter_add(
+                            "faultsim",
+                            "transitions",
+                            &[("link", &name), ("action", label)],
+                            1,
+                        );
+                    }
+                }
+            });
         }
     }
 }
@@ -323,6 +504,13 @@ fn resolve_links(machine: &GpuMachine, target: FaultTarget) -> Vec<LinkId> {
             vec![fabric.injection_link(node), fabric.ejection_link(node)]
         }
         FaultTarget::Device { device } => vec![machine.engine_link(device)],
+        FaultTarget::Switch { first_node, nodes } => {
+            let last = (first_node + nodes).min(machine.num_nodes());
+            (first_node..last)
+                .flat_map(|n| [fabric.injection_link(n), fabric.ejection_link(n)])
+                .collect()
+        }
+        FaultTarget::Rank { .. } => Vec::new(),
     }
 }
 
@@ -330,7 +518,7 @@ fn resolve_links(machine: &GpuMachine, target: FaultTarget) -> Vec<LinkId> {
 fn apply(k: &mut Kernel, links: &[(LinkId, f64, SimDuration)], action: FaultAction) {
     let label = match action {
         FaultAction::Degrade { .. } => "degrade",
-        FaultAction::Restore => "restore",
+        _ => "restore",
     };
     for &(link, base_cap, base_lat) in links {
         match action {
@@ -350,6 +538,8 @@ fn apply(k: &mut Kernel, links: &[(LinkId, f64, SimDuration)], action: FaultActi
                 k.set_link_capacity(link, base_cap);
                 k.set_link_latency(link, base_lat);
             }
+            // Resolved to zero links above; nothing to apply here.
+            FaultAction::ShrinkMem { .. } | FaultAction::Kill | FaultAction::Respawn => {}
         }
         if k.metrics.is_enabled() {
             let name = k.link_name(link).to_string();
@@ -360,6 +550,69 @@ fn apply(k: &mut Kernel, links: &[(LinkId, f64, SimDuration)], action: FaultActi
                 1,
             );
         }
+    }
+}
+
+/// The registry of named fault scenarios — the single name table shared by
+/// the `chaos` bench CLI, the service wire format, and tests. A new
+/// scenario registers here once and is reachable everywhere by the same
+/// string; [`Scenario::name`] and [`Scenario::parse`] round-trip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// No injected faults.
+    None,
+    /// A triad NVLink degrades ([`FaultSchedule::degraded_triad`]).
+    DegradedTriad,
+    /// The degraded-triad pattern on a fat (12-GPU) node.
+    DegradedFatNode,
+    /// A NIC flaps down and up ([`FaultSchedule::flapping_nic`]).
+    FlappingNic,
+    /// One GPU engine runs slow ([`FaultSchedule::straggler_gpu`]).
+    StragglerGpu,
+    /// Compound triad + flap + straggler ([`FaultSchedule::cascading`]).
+    Cascading,
+    /// A rank dies and rejoins ([`FaultSchedule::kill_respawn`]).
+    KillRespawn,
+    /// A device OOMs, killing its rank ([`FaultSchedule::oom_respawn`]).
+    OomRespawn,
+}
+
+impl Scenario {
+    /// Every registered scenario, in display order.
+    pub const ALL: [Scenario; 8] = [
+        Scenario::None,
+        Scenario::DegradedTriad,
+        Scenario::DegradedFatNode,
+        Scenario::FlappingNic,
+        Scenario::StragglerGpu,
+        Scenario::Cascading,
+        Scenario::KillRespawn,
+        Scenario::OomRespawn,
+    ];
+
+    /// The canonical wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::None => "none",
+            Scenario::DegradedTriad => "degraded-triad",
+            Scenario::DegradedFatNode => "degraded-fat-node",
+            Scenario::FlappingNic => "flapping-nic",
+            Scenario::StragglerGpu => "straggler-gpu",
+            Scenario::Cascading => "cascading",
+            Scenario::KillRespawn => "kill-respawn",
+            Scenario::OomRespawn => "oom-respawn",
+        }
+    }
+
+    /// Look a scenario up by its canonical name.
+    pub fn parse(s: &str) -> Option<Scenario> {
+        Scenario::ALL.iter().copied().find(|sc| sc.name() == s)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -463,6 +716,104 @@ mod tests {
         FaultSchedule::straggler_gpu(7, SimDuration::from_micros(3), 0.25).install(&mut k, &m);
         k.run_to_completion();
         assert_eq!(k.link_capacity(engine), nominal * 0.25);
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for sc in Scenario::ALL {
+            assert_eq!(Scenario::parse(sc.name()), Some(sc), "{sc}");
+            assert_eq!(format!("{sc}"), sc.name());
+        }
+        assert_eq!(Scenario::parse("kill-respawn"), Some(Scenario::KillRespawn));
+        assert_eq!(Scenario::parse("no-such"), None);
+    }
+
+    #[test]
+    fn rank_events_are_skipped_by_install_and_exposed_separately() {
+        let s = FaultSchedule::kill_respawn(
+            3,
+            SimDuration::from_micros(10),
+            SimDuration::from_micros(20),
+        );
+        assert!(s.has_rank_events());
+        let evs: Vec<_> = s.rank_events().collect();
+        assert_eq!(
+            evs,
+            vec![
+                (SimDuration::from_micros(10), 3, FaultAction::Kill),
+                (SimDuration::from_micros(30), 3, FaultAction::Respawn),
+            ]
+        );
+        let mut k = Kernel::new();
+        let m = machine(&mut k);
+        s.install(&mut k, &m);
+        k.run_to_completion();
+        assert_eq!(k.executed_events(), 0, "rank events never install here");
+    }
+
+    #[test]
+    fn shrink_mem_applies_and_restore_clears() {
+        let mut k = Kernel::new();
+        let m = machine(&mut k);
+        let nominal = m.device_mem_limit(4);
+        let s = FaultSchedule::oom_respawn(
+            4,
+            4,
+            SimDuration::from_micros(5),
+            SimDuration::from_micros(10),
+            0.25,
+        );
+        s.install(&mut k, &m);
+        let m2 = m.clone();
+        k.schedule_at(SimTime::ZERO + SimDuration::from_micros(7), move |_| {
+            assert_eq!(m2.device_mem_limit(4), (nominal as f64 * 0.25) as u64);
+        });
+        k.run_to_completion();
+        assert_eq!(m.device_mem_limit(4), nominal, "restore clears override");
+    }
+
+    #[test]
+    fn switch_target_covers_node_range_nics() {
+        let mut k = Kernel::new();
+        let m = machine(&mut k);
+        let caps: Vec<f64> = (0..2)
+            .map(|n| k.link_capacity(m.fabric().injection_link(n)))
+            .collect();
+        let s = FaultSchedule::degraded_switch(0, 2, SimDuration::from_micros(1), 0.5);
+        s.install(&mut k, &m);
+        k.run_to_completion();
+        for (n, cap) in caps.iter().enumerate() {
+            assert_eq!(
+                k.link_capacity(m.fabric().injection_link(n)),
+                cap * 0.5,
+                "node {n} NIC degraded"
+            );
+            assert_eq!(
+                k.link_capacity(m.fabric().ejection_link(n)),
+                cap * 0.5,
+                "node {n} ejection degraded"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Kill/Respawn only apply to a rank target")]
+    fn kill_on_device_target_rejected() {
+        let _ = FaultSchedule::new().push(FaultEvent {
+            at: SimDuration::ZERO,
+            target: FaultTarget::Device { device: 0 },
+            action: FaultAction::Kill,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "ShrinkMem only applies to a device target")]
+    fn shrink_mem_on_nic_target_rejected() {
+        let _ = FaultSchedule::new().push(FaultEvent {
+            at: SimDuration::ZERO,
+            target: FaultTarget::Nic { node: 0 },
+            action: FaultAction::ShrinkMem { mem_factor: 0.5 },
+        });
     }
 
     #[test]

@@ -28,6 +28,11 @@ struct DeviceState {
     /// kernels share its (pack) bandwidth.
     engine: LinkId,
     allocated: Mutex<u64>,
+    /// Runtime override of [`GpuCostModel::device_mem_limit`] for this
+    /// device — the fault-injection hook for mid-run memory shrink (a
+    /// device "coming back sick" with less usable HBM). `None` means the
+    /// configured limit applies.
+    mem_limit: Mutex<Option<u64>>,
 }
 
 pub(crate) struct MachineInner {
@@ -75,6 +80,7 @@ impl GpuMachine {
                 devices.push(DeviceState {
                     engine,
                     allocated: Mutex::new(0),
+                    mem_limit: Mutex::new(None),
                 });
                 // Default stream: registry slot == global device id.
                 let fifo = kernel.add_fifo(format!("n{node}.g{g}.s0"), 1);
@@ -186,13 +192,14 @@ impl GpuMachine {
     /// As [`Self::alloc_device`] without charging setup time (tests,
     /// initialization outside the timed region).
     pub fn alloc_device_untimed(&self, device: usize, len: u64) -> Result<Buffer, GpuError> {
+        let limit = self.device_mem_limit(device);
         let mut used = self.inner.devices[device].allocated.lock();
-        if *used + len > self.inner.cfg.device_mem_limit {
+        if *used + len > limit {
             return Err(GpuError::OutOfMemory {
                 device,
                 requested: len,
                 in_use: *used,
-                limit: self.inner.cfg.device_mem_limit,
+                limit,
             });
         }
         *used += len;
@@ -215,6 +222,25 @@ impl GpuMachine {
     /// Device memory currently allocated on `device`.
     pub fn device_mem_used(&self, device: usize) -> u64 {
         *self.inner.devices[device].allocated.lock()
+    }
+
+    /// Effective memory limit of `device`: the runtime override if one is
+    /// set, else the configured [`GpuCostModel::device_mem_limit`].
+    pub fn device_mem_limit(&self, device: usize) -> u64 {
+        self.inner.devices[device]
+            .mem_limit
+            .lock()
+            .unwrap_or(self.inner.cfg.device_mem_limit)
+    }
+
+    /// Override (or with `None`, clear back to configured) the memory
+    /// limit of `device` — the fault-injection hook for mid-run memory
+    /// shrink. Allocations already accounted are untouched; only future
+    /// [`Self::alloc_device`] calls see the new limit, mirroring a driver
+    /// that fenced off bad pages. The override is absolute, so repeated
+    /// shrinks do not compound.
+    pub fn set_device_mem_limit(&self, device: usize, limit: Option<u64>) {
+        *self.inner.devices[device].mem_limit.lock() = limit;
     }
 
     /// Allocate pinned host memory on the socket nearest to `device`
@@ -361,6 +387,27 @@ mod tests {
         m.free_device(&b);
         assert_eq!(m.device_mem_used(0), 0);
         assert!(m.alloc_device_untimed(0, 10 << 30).is_ok());
+    }
+
+    #[test]
+    fn mem_limit_override_shrinks_and_restores() {
+        let (_k, m) = machine(1);
+        let nominal = m.device_mem_limit(3);
+        let b = m.alloc_device_untimed(3, 1 << 30).unwrap();
+        // Shrink below current usage: existing allocations survive, new
+        // ones fail against the overridden limit.
+        m.set_device_mem_limit(3, Some(1 << 20));
+        assert_eq!(m.device_mem_limit(3), 1 << 20);
+        assert_eq!(m.device_mem_used(3), 1 << 30);
+        let err = m.alloc_device_untimed(3, 1 << 20).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { device: 3, limit, .. } if limit == 1 << 20));
+        // Other devices are unaffected.
+        assert!(m.alloc_device_untimed(4, 1 << 20).is_ok());
+        // Clearing the override restores the configured limit.
+        m.set_device_mem_limit(3, None);
+        assert_eq!(m.device_mem_limit(3), nominal);
+        m.free_device(&b);
+        assert!(m.alloc_device_untimed(3, 1 << 20).is_ok());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use detsim::{Completion, SimCtx, SimDuration};
+use detsim::{Completion, SimCtx, SimTime};
+use faultsim::FaultSchedule;
 use gpusim::{Buffer, GpuMachine};
 
 use crate::transport::{ChanKind, ChanSide, Channel, ChannelRound, MpiState, Request};
@@ -150,9 +151,10 @@ impl<'a> RankCtx<'a> {
             .with_kernel(|k| self.st.irecv(k, self.rank, src, tag, buf, off, len))
     }
 
-    /// `MPI_Wait`.
+    /// `MPI_Wait`. Returns normally for revoked requests too — check
+    /// [`Request::is_revoked`] when running under rank faults.
     pub fn wait(&self, req: &Request) {
-        self.sim.wait(&req.0);
+        self.sim.wait(&req.done);
     }
 
     /// `MPI_Waitall`.
@@ -288,10 +290,10 @@ impl<'a> RankCtx<'a> {
     /// [`ChannelRound::parts`]) before starting the next round on this end.
     pub fn start(&self, ch: &Channel) -> ChannelRound {
         self.sim.delay(self.st.cfg.persistent_start_overhead);
-        let parts = self.sim.with_kernel(|k| self.st.channel_start(k, ch));
+        let (parts, revoked) = self.sim.with_kernel(|k| self.st.channel_start(k, ch));
         let all = self.sim.with_kernel(|k| k.completion_all(&parts));
         ChannelRound {
-            all: Request(all),
+            all: Request { done: all, revoked },
             parts,
         }
     }
@@ -334,30 +336,87 @@ impl<'a> RankCtx<'a> {
         }
     }
 
+    // ----- rank lifecycle (shrink-or-respawn worlds) ------------------------
+
+    /// Whether `rank` is currently alive (`MPIX_Comm_failure_ack`-style
+    /// local knowledge — in the simulator, exact and globally agreed).
+    pub fn is_alive(&self, rank: usize) -> bool {
+        self.st.is_alive(rank)
+    }
+
+    /// Number of currently alive ranks.
+    pub fn alive_count(&self) -> usize {
+        self.st.alive_count()
+    }
+
+    /// The alive ranks in ascending order: the membership of the shrunken
+    /// world (`MPIX_Comm_shrink` semantics). Every rank reading this at the
+    /// same virtual instant sees the same membership.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        self.st.alive_ranks()
+    }
+
+    /// The communicator epoch: bumped on every kill and respawn. Zero for
+    /// a fault-free world. Compare epochs to detect membership changes
+    /// since a plan or channel set was built.
+    pub fn failure_epoch(&self) -> u64 {
+        self.st.failure_epoch()
+    }
+
+    /// Block until `rank` is alive. Returns immediately if it already is.
+    pub fn await_respawn(&self, rank: usize) {
+        let waiter = self
+            .sim
+            .with_kernel(|k| self.st.respawn_completion(k, rank));
+        if let Some(c) = waiter {
+            self.sim.wait(&c);
+        }
+    }
+
+    /// Block until every rank of the world is alive. Returns immediately
+    /// if the world is already whole.
+    pub fn await_all_alive(&self) {
+        let waiter = self.sim.with_kernel(|k| self.st.all_alive_completion(k));
+        if let Some(c) = waiter {
+            self.sim.wait(&c);
+        }
+    }
+
+    /// Whether a channel handle was revoked by a rank death. Revoked
+    /// handles never transfer again; re-init a fresh channel under the
+    /// same key (the re-handshake).
+    pub fn channel_revoked(&self, ch: &Channel) -> bool {
+        self.st.channel_revoked(ch)
+    }
+
+    /// Install a fault schedule mid-run, offsets measured from `base`:
+    /// link/device events via [`faultsim::FaultSchedule::install_at`] and
+    /// rank kill/respawn events as communicator transitions. Call from
+    /// exactly one rank (events are world-global); a schedule installed a
+    /// second time would fire twice.
+    pub fn install_faults_at(&self, schedule: &FaultSchedule, base: SimTime) {
+        self.sim.with_kernel(|k| {
+            schedule.install_at(k, &self.st.machine, base);
+            self.st.install_rank_faults(k, schedule, base);
+        });
+    }
+
     // ----- collectives -------------------------------------------------------
 
-    /// `MPI_Barrier` over the world communicator.
+    /// `MPI_Barrier` over the world communicator. Under rank faults the
+    /// barrier counts only *alive* ranks: a round whose missing arrivals
+    /// are all dead releases to its survivors (the shrunken-world
+    /// agreement). The release delay still models `ceil(log2 n)`
+    /// dissemination hops of the full world size, so a fault-free run is
+    /// bit-identical to the pre-resilience barrier.
     pub fn barrier(&self) {
         self.sim.delay(self.st.cfg.call_overhead);
-        let n = self.st.num_ranks;
-        if n == 1 {
+        if self.st.num_ranks == 1 {
             return;
         }
-        let release = self.sim.with_kernel(|k| {
-            let mut b = self.st.barrier.lock();
-            b.arrived += 1;
-            let rel = b.release.clone();
-            if b.arrived == n {
-                b.arrived = 0;
-                b.release = k.completion();
-                drop(b);
-                let hops = (n as f64).log2().ceil() as u64;
-                let d = SimDuration::from_picos(self.st.cfg.barrier_hop.picos() * hops.max(1));
-                let rel2 = rel.clone();
-                k.schedule_in(d, move |k| k.complete(&rel2));
-            }
-            rel
-        });
+        let release = self
+            .sim
+            .with_kernel(|k| self.st.barrier_arrive(k, self.rank));
         self.sim.wait(&release);
     }
 

@@ -3,9 +3,11 @@
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use detsim::{Completion, Kernel, LinkId, SimDuration, SimTime};
+use faultsim::{FaultAction, FaultSchedule};
 use gpusim::{Buffer, GpuMachine, Placement};
 use parking_lot::Mutex;
 
@@ -14,18 +16,38 @@ use crate::config::MpiCostModel;
 /// A pending non-blocking operation. Wait on it via
 /// [`RankCtx::wait`](crate::RankCtx::wait).
 #[derive(Clone, Debug)]
-pub struct Request(pub(crate) Completion);
+pub struct Request {
+    pub(crate) done: Completion,
+    /// Set when the operation resolved as *revoked* (ULFM-style): one of
+    /// its endpoints died while the operation was still pending. A revoked
+    /// request is complete (waits return immediately) but moved no bytes.
+    pub(crate) revoked: Arc<AtomicBool>,
+}
 
 impl Request {
+    pub(crate) fn new(done: Completion) -> Request {
+        Request {
+            done,
+            revoked: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
     /// Whether the operation has completed.
     pub fn is_done(&self) -> bool {
-        self.0.is_done()
+        self.done.is_done()
+    }
+
+    /// Whether the operation resolved as revoked: an endpoint rank died
+    /// while it was pending, so it completed without transferring data
+    /// (see `docs/RESILIENCE.md` for the shrink-or-respawn contract).
+    pub fn is_revoked(&self) -> bool {
+        self.revoked.load(Ordering::Relaxed)
     }
 
     /// The underlying completion (for mixing with stream events in
     /// `wait_any`-style polling).
     pub fn completion(&self) -> &Completion {
-        &self.0
+        &self.done
     }
 }
 
@@ -110,6 +132,10 @@ struct ChanEnd {
 struct ChannelRoundState {
     send_parts: Option<Vec<Completion>>,
     recv_parts: Option<Vec<Completion>>,
+    /// Revocation flags handed out with each side's round requests, so a
+    /// kill can mark in-flight rounds revoked.
+    send_flag: Option<Arc<AtomicBool>>,
+    recv_flag: Option<Arc<AtomicBool>>,
     ready: Vec<bool>,
     launched: Vec<bool>,
     remaining: usize,
@@ -126,6 +152,11 @@ struct ChannelState {
     /// (rendezvous); later rounds reuse the negotiated match.
     rounds_done: u64,
     cur: Option<ChannelRoundState>,
+    /// A rank death revokes the communicator's channels (ULFM
+    /// `MPI_Comm_revoke` semantics): every later `start` on an old handle
+    /// completes immediately as revoked. Survivors re-init fresh channels
+    /// under the same keys (the index entry is cleared at kill time).
+    revoked: bool,
 }
 
 struct PendingMsg {
@@ -133,6 +164,7 @@ struct PendingMsg {
     off: u64,
     len: u64,
     done: Completion,
+    revoked: Arc<AtomicBool>,
     rank: usize,
     /// When the operation was posted (for match-latency metrics).
     posted: SimTime,
@@ -151,8 +183,27 @@ struct ObjQueue {
 }
 
 pub(crate) struct BarrierState {
-    pub arrived: usize,
+    /// Which ranks have arrived in the current round.
+    pub arrived: Vec<bool>,
+    /// How many *alive* ranks have arrived. The barrier releases when this
+    /// reaches the alive count — a shrunken world's barrier waits only for
+    /// its survivors.
+    pub alive_arrived: usize,
     pub release: Completion,
+}
+
+/// Rank-lifecycle state: who is alive, how often the membership changed,
+/// and who is parked waiting for a membership transition.
+pub(crate) struct LifeState {
+    alive: Vec<bool>,
+    dead: usize,
+    /// Bumped on every kill or respawn — the communicator epoch. Cached
+    /// plans or channels built under an older epoch are suspect.
+    epoch: u64,
+    /// `(rank, completion)` pairs released when `rank` respawns.
+    respawn_waiters: Vec<(usize, Completion)>,
+    /// Completions released when every rank is alive again.
+    all_alive_waiters: Vec<Completion>,
 }
 
 /// Shared state of the simulated MPI library.
@@ -179,6 +230,7 @@ pub(crate) struct MpiState {
     channels: Mutex<Vec<Arc<Mutex<ChannelState>>>>,
     objs: Mutex<HashMap<MatchKey, ObjQueue>>,
     pub barrier: Mutex<BarrierState>,
+    life: Mutex<LifeState>,
     /// Memoized deterministic setup artifacts shared across the world's
     /// ranks (see [`RankCtx::cached_setup`](crate::RankCtx::cached_setup)).
     pub(crate) setup_cache: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
@@ -218,8 +270,16 @@ impl MpiState {
             channels: Mutex::new(Vec::new()),
             objs: Mutex::new(HashMap::new()),
             barrier: Mutex::new(BarrierState {
-                arrived: 0,
+                arrived: vec![false; num_ranks],
+                alive_arrived: 0,
                 release,
+            }),
+            life: Mutex::new(LifeState {
+                alive: vec![true; num_ranks],
+                dead: 0,
+                epoch: 0,
+                respawn_waiters: Vec::new(),
+                all_alive_waiters: Vec::new(),
             }),
             setup_cache: Mutex::new(HashMap::new()),
         })
@@ -247,12 +307,17 @@ impl MpiState {
             dst_rank < self.num_ranks,
             "isend to invalid rank {dst_rank}"
         );
+        if let Some(req) = self.revoked_if_dead(k, src_rank, dst_rank) {
+            return req;
+        }
         let done = k.completion();
+        let req = Request::new(done.clone());
         let msg = PendingMsg {
             buf: buf.clone(),
             off,
             len,
-            done: done.clone(),
+            done,
+            revoked: Arc::clone(&req.revoked),
             rank: src_rank,
             posted: k.now(),
         };
@@ -271,7 +336,30 @@ impl MpiState {
             self.record_match(k, "recv", recv.posted);
             self.start_transfer(k, send, recv);
         }
-        Request(done)
+        req
+    }
+
+    /// If either endpoint of an operation is currently dead, resolve it as
+    /// revoked on the spot: complete, no bytes, `is_revoked()` set. On the
+    /// (fault-free) fast path this is two boolean reads.
+    fn revoked_if_dead(&self, k: &mut Kernel, a: usize, b: usize) -> Option<Request> {
+        let dead = {
+            let life = self.life.lock();
+            !life.alive[a] || !life.alive[b]
+        };
+        if !dead {
+            return None;
+        }
+        let done = k.completion();
+        k.complete(&done);
+        if k.metrics.is_enabled() {
+            k.metrics
+                .counter_add("mpisim", "revoked_ops", &[("when", "posted")], 1);
+        }
+        Some(Request {
+            done,
+            revoked: Arc::new(AtomicBool::new(true)),
+        })
     }
 
     /// Post a non-blocking receive.
@@ -291,12 +379,17 @@ impl MpiState {
             src_rank < self.num_ranks,
             "irecv from invalid rank {src_rank}"
         );
+        if let Some(req) = self.revoked_if_dead(k, dst_rank, src_rank) {
+            return req;
+        }
         let done = k.completion();
+        let req = Request::new(done.clone());
         let msg = PendingMsg {
             buf: buf.clone(),
             off,
             len,
-            done: done.clone(),
+            done,
+            revoked: Arc::clone(&req.revoked),
             rank: dst_rank,
             posted: k.now(),
         };
@@ -315,7 +408,7 @@ impl MpiState {
             self.record_match(k, "send", send.posted);
             self.start_transfer(k, send, recv);
         }
-        Request(done)
+        req
     }
 
     /// Record how long the queued side of a newly matched pair sat waiting
@@ -559,6 +652,7 @@ impl MpiState {
                 recv: None,
                 rounds_done: 0,
                 cur: None,
+                revoked: false,
             })));
             channels.len() - 1
         });
@@ -606,33 +700,65 @@ impl MpiState {
     }
 
     /// Start one round on a channel end. Returns the per-partition
-    /// completions for this side (persistent channels have exactly one).
-    /// Partitions of a persistent channel — and none of a partitioned send
-    /// until [`Self::channel_pready`] — begin flying as soon as both sides
-    /// of the round have started.
-    pub fn channel_start(&self, k: &mut Kernel, ch: &Channel) -> Vec<Completion> {
+    /// completions for this side (persistent channels have exactly one)
+    /// plus the round's revocation flag. Partitions of a persistent
+    /// channel — and none of a partitioned send until
+    /// [`Self::channel_pready`] — begin flying as soon as both sides of
+    /// the round have started. On a revoked channel the round resolves
+    /// immediately: all completions done, flag set, no bytes.
+    pub fn channel_start(
+        &self,
+        k: &mut Kernel,
+        ch: &Channel,
+    ) -> (Vec<Completion>, Arc<AtomicBool>) {
         let state = Arc::clone(&self.channels.lock()[ch.id]);
         let mut st = state.lock();
         assert!(
             st.send.is_some() && st.recv.is_some(),
             "channel started before both ends were initialized"
         );
+        if st.revoked {
+            let mine: Vec<Completion> = (0..st.parts).map(|_| k.completion()).collect();
+            drop(st);
+            for c in &mine {
+                k.complete(c);
+            }
+            if k.metrics.is_enabled() {
+                k.metrics
+                    .counter_add("mpisim", "revoked_ops", &[("when", "channel-start")], 1);
+            }
+            return (mine, Arc::new(AtomicBool::new(true)));
+        }
         let parts = st.parts;
         let round = st.cur.get_or_insert_with(|| ChannelRoundState {
             send_parts: None,
             recv_parts: None,
+            send_flag: None,
+            recv_flag: None,
             ready: vec![false; parts],
             launched: vec![false; parts],
             remaining: parts,
             first_started: k.now(),
         });
         let mine: Vec<Completion> = (0..parts).map(|_| k.completion()).collect();
-        let (slot, other_started, waited_side) = match ch.side {
-            ChanSide::Send => (&mut round.send_parts, round.recv_parts.is_some(), "recv"),
-            ChanSide::Recv => (&mut round.recv_parts, round.send_parts.is_some(), "send"),
+        let flag = Arc::new(AtomicBool::new(false));
+        let (slot, flag_slot, other_started, waited_side) = match ch.side {
+            ChanSide::Send => (
+                &mut round.send_parts,
+                &mut round.send_flag,
+                round.recv_parts.is_some(),
+                "recv",
+            ),
+            ChanSide::Recv => (
+                &mut round.recv_parts,
+                &mut round.recv_flag,
+                round.send_parts.is_some(),
+                "send",
+            ),
         };
         assert!(slot.is_none(), "channel end started twice in one round");
         *slot = Some(mine.clone());
+        *flag_slot = Some(Arc::clone(&flag));
         if ch.side == ChanSide::Send && ch.kind == ChanKind::Persistent {
             // The whole persistent message is implicitly ready at start.
             round.ready.iter_mut().for_each(|r| *r = true);
@@ -666,7 +792,7 @@ impl MpiState {
             }
         }
         self.channel_try_launch(k, &state, &mut st);
-        mine
+        (mine, flag)
     }
 
     /// `MPI_Pready`: mark one partition of a partitioned send ready. Its
@@ -681,6 +807,10 @@ impl MpiState {
         assert!(part < ch.parts, "partition index out of range");
         let state = Arc::clone(&self.channels.lock()[ch.id]);
         let mut st = state.lock();
+        if st.revoked {
+            // The round already resolved as revoked; readiness is moot.
+            return;
+        }
         let round = st
             .cur
             .as_mut()
@@ -771,14 +901,14 @@ impl MpiState {
                     k.complete(&send_done);
                     k.complete(&recv_done);
                     let mut st = chan.lock();
-                    let done = {
-                        let r = st.cur.as_mut().expect("round live until last partition");
+                    // A kill may have revoked the round out from under an
+                    // in-flight partition; the late finish is then a no-op.
+                    if let Some(r) = st.cur.as_mut() {
                         r.remaining -= 1;
-                        r.remaining == 0
-                    };
-                    if done {
-                        st.cur = None;
-                        st.rounds_done += 1;
+                        if r.remaining == 0 {
+                            st.cur = None;
+                            st.rounds_done += 1;
+                        }
                     }
                 });
             });
@@ -830,5 +960,273 @@ impl MpiState {
                 Err(c)
             }
         }
+    }
+
+    // ----- rank lifecycle (kill / shrink / respawn) ------------------------
+
+    /// Whether `rank` is currently alive.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        self.life.lock().alive[rank]
+    }
+
+    /// Number of currently alive ranks.
+    pub fn alive_count(&self) -> usize {
+        let life = self.life.lock();
+        life.alive.len() - life.dead
+    }
+
+    /// The currently alive ranks, ascending — the membership of the
+    /// shrunken world every survivor agrees on (reads of shared state at
+    /// one virtual instant are identical across ranks).
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        let life = self.life.lock();
+        (0..life.alive.len()).filter(|&r| life.alive[r]).collect()
+    }
+
+    /// The communicator epoch: bumped on every kill and respawn. A
+    /// fault-free world stays at epoch 0.
+    pub fn failure_epoch(&self) -> u64 {
+        self.life.lock().epoch
+    }
+
+    /// A completion released when `rank` respawns, or `None` if it is
+    /// already alive.
+    pub fn respawn_completion(&self, k: &mut Kernel, rank: usize) -> Option<Completion> {
+        let mut life = self.life.lock();
+        if life.alive[rank] {
+            return None;
+        }
+        let c = k.completion();
+        life.respawn_waiters.push((rank, c.clone()));
+        Some(c)
+    }
+
+    /// A completion released when every rank is alive, or `None` if the
+    /// world is already whole.
+    pub fn all_alive_completion(&self, k: &mut Kernel) -> Option<Completion> {
+        let mut life = self.life.lock();
+        if life.dead == 0 {
+            return None;
+        }
+        let c = k.completion();
+        life.all_alive_waiters.push(c.clone());
+        Some(c)
+    }
+
+    /// Whether a channel handle has been revoked by a rank death. A
+    /// revoked handle never transfers again; both ends must `*_init` a
+    /// fresh channel (the re-handshake).
+    pub fn channel_revoked(&self, ch: &Channel) -> bool {
+        self.channels.lock()[ch.id].lock().revoked
+    }
+
+    /// Install the rank kill/respawn events of `schedule` as kernel
+    /// timers, offsets measured from `base`. Link/device events are *not*
+    /// installed here — pair with [`FaultSchedule::install_at`], which
+    /// skips rank events; together the two passes install every event
+    /// exactly once. A schedule without rank events registers nothing.
+    pub fn install_rank_faults(
+        self: &Arc<Self>,
+        k: &mut Kernel,
+        schedule: &FaultSchedule,
+        base: SimTime,
+    ) {
+        for (at, rank, action) in schedule.rank_events() {
+            assert!(rank < self.num_ranks, "rank fault target out of range");
+            let st = Arc::clone(self);
+            match action {
+                FaultAction::Kill => {
+                    k.schedule_at(base + at, move |k| st.kill_rank(k, rank));
+                }
+                FaultAction::Respawn => {
+                    k.schedule_at(base + at, move |k| st.respawn_rank(k, rank));
+                }
+                _ => unreachable!("rank events carry only Kill/Respawn (validated at build)"),
+            }
+        }
+    }
+
+    /// Kill `rank`: the ULFM-style failure transition.
+    ///
+    /// * Pending (unmatched) sends/receives with `rank` as either endpoint
+    ///   resolve as revoked. Matched transfers already in flight land
+    ///   normally — the bytes were on the wire.
+    /// * Every channel is revoked, communicator-wide (`MPI_Comm_revoke`):
+    ///   in-flight rounds resolve as revoked, old handles are dead, and
+    ///   the channel index is cleared so survivors and a respawned rank
+    ///   re-handshake fresh channels under the same keys.
+    /// * Receivers parked on out-of-band objects from `rank` are woken
+    ///   (they re-park; see `RankCtx::recv_obj` — resilient protocols must
+    ///   not block on a dead peer's setup messages).
+    /// * The barrier stops counting `rank`: a round waiting only on dead
+    ///   ranks releases to its survivors — the shrunken-world agreement.
+    ///
+    /// Idempotent; killing a dead rank is a no-op.
+    pub fn kill_rank(self: &Arc<Self>, k: &mut Kernel, rank: usize) {
+        {
+            let mut life = self.life.lock();
+            if !life.alive[rank] {
+                return;
+            }
+            life.alive[rank] = false;
+            life.dead += 1;
+            life.epoch += 1;
+        }
+        let mut to_complete: Vec<Completion> = Vec::new();
+        let mut revoked_ops = 0u64;
+        {
+            let mut q = self.queues.lock();
+            for (key, mq) in q.iter_mut() {
+                if key.0 != rank && key.1 != rank {
+                    continue;
+                }
+                for msg in mq.sends.drain(..).chain(mq.recvs.drain(..)) {
+                    msg.revoked.store(true, Ordering::Relaxed);
+                    to_complete.push(msg.done);
+                    revoked_ops += 1;
+                }
+            }
+        }
+        {
+            let index_len = {
+                let mut index = self.chan_index.lock();
+                let n = index.len();
+                index.clear();
+                n
+            };
+            let channels = self.channels.lock();
+            for chan in channels.iter() {
+                let mut st = chan.lock();
+                if st.revoked {
+                    continue;
+                }
+                st.revoked = true;
+                if let Some(round) = st.cur.take() {
+                    for flag in [&round.send_flag, &round.recv_flag].into_iter().flatten() {
+                        flag.store(true, Ordering::Relaxed);
+                    }
+                    for parts in [round.send_parts, round.recv_parts].into_iter().flatten() {
+                        to_complete.extend(parts);
+                        revoked_ops += 1;
+                    }
+                }
+            }
+            let _ = index_len;
+        }
+        {
+            let mut q = self.objs.lock();
+            for (key, oq) in q.iter_mut() {
+                if key.0 == rank || key.1 == rank {
+                    to_complete.extend(oq.waiters.drain(..));
+                }
+            }
+        }
+        self.barrier_drop_rank(k, rank);
+        for c in &to_complete {
+            k.complete(c);
+        }
+        if k.metrics.is_enabled() {
+            k.metrics
+                .counter_add("mpisim", "rank_transitions", &[("action", "kill")], 1);
+            if revoked_ops > 0 {
+                k.metrics
+                    .counter_add("mpisim", "revoked_ops", &[("when", "kill")], revoked_ops);
+            }
+        }
+    }
+
+    /// Respawn `rank`: it rejoins the world (epoch bumps again), waiters
+    /// parked on its return — and, once the world is whole, on
+    /// all-alive — are released, and the barrier counts it again.
+    /// Idempotent; respawning a live rank is a no-op.
+    pub fn respawn_rank(self: &Arc<Self>, k: &mut Kernel, rank: usize) {
+        let mut wake: Vec<Completion> = Vec::new();
+        {
+            let mut life = self.life.lock();
+            if life.alive[rank] {
+                return;
+            }
+            life.alive[rank] = true;
+            life.dead -= 1;
+            life.epoch += 1;
+            let mut i = 0;
+            while i < life.respawn_waiters.len() {
+                if life.respawn_waiters[i].0 == rank {
+                    wake.push(life.respawn_waiters.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            if life.dead == 0 {
+                wake.append(&mut life.all_alive_waiters);
+            }
+        }
+        // If the rank is parked at the barrier (it arrived dead, or died
+        // after arriving), its arrival counts again.
+        {
+            let mut b = self.barrier.lock();
+            if b.arrived[rank] {
+                b.alive_arrived += 1;
+            }
+        }
+        self.barrier_maybe_release(k);
+        for c in &wake {
+            k.complete(c);
+        }
+        if k.metrics.is_enabled() {
+            k.metrics
+                .counter_add("mpisim", "rank_transitions", &[("action", "respawn")], 1);
+        }
+    }
+
+    /// Barrier bookkeeping for a kill: the dead rank's arrival (if any)
+    /// stops counting, and a round now waiting only on dead ranks releases
+    /// to its survivors.
+    fn barrier_drop_rank(&self, k: &mut Kernel, rank: usize) {
+        {
+            let mut b = self.barrier.lock();
+            if b.arrived[rank] {
+                b.alive_arrived -= 1;
+            }
+        }
+        self.barrier_maybe_release(k);
+    }
+
+    /// One rank arrives at the barrier. Returns the round's release
+    /// completion to park on.
+    pub fn barrier_arrive(&self, k: &mut Kernel, rank: usize) -> Completion {
+        let (me_alive, rel) = {
+            let alive = self.is_alive(rank);
+            let mut b = self.barrier.lock();
+            debug_assert!(!b.arrived[rank], "rank re-entered barrier before release");
+            b.arrived[rank] = true;
+            if alive {
+                b.alive_arrived += 1;
+            }
+            (alive, b.release.clone())
+        };
+        if me_alive {
+            self.barrier_maybe_release(k);
+        }
+        rel
+    }
+
+    /// Release the barrier if every alive rank has arrived. The release
+    /// delay models the `ceil(log2 n)` hops of a dissemination barrier,
+    /// unchanged from the fault-free path.
+    fn barrier_maybe_release(&self, k: &mut Kernel) {
+        let alive_total = self.alive_count();
+        let mut b = self.barrier.lock();
+        if b.alive_arrived == 0 || b.alive_arrived != alive_total {
+            return;
+        }
+        b.arrived.iter_mut().for_each(|f| *f = false);
+        b.alive_arrived = 0;
+        let rel = std::mem::replace(&mut b.release, k.completion());
+        drop(b);
+        let n = self.num_ranks;
+        let hops = (n as f64).log2().ceil() as u64;
+        let d = SimDuration::from_picos(self.cfg.barrier_hop.picos() * hops.max(1));
+        k.schedule_in(d, move |k| k.complete(&rel));
     }
 }

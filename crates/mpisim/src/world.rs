@@ -172,7 +172,7 @@ where
             config.data_mode,
         );
         config.faults.install(k, &machine);
-        MpiState::new(
+        let st = MpiState::new(
             k,
             machine,
             config.mpi_cost.clone(),
@@ -180,7 +180,12 @@ where
             config.mpi_persistent,
             config.mpi_partitioned,
             config.ranks_per_node,
-        )
+        );
+        // Link/device events were installed above; rank kill/respawn events
+        // need the communicator state and are installed here. A schedule
+        // without rank events registers nothing (faults-off runs untouched).
+        st.install_rank_faults(k, &config.faults, detsim::SimTime::ZERO);
+        st
     });
     let program = Arc::new(program);
     let programs: Vec<Program> = (0..num_ranks)
@@ -558,6 +563,188 @@ mod tests {
             flapped < clean + 0.0025,
             "transfer should resume after restore: clean {clean}, flapped {flapped}"
         );
+    }
+
+    #[test]
+    fn kill_revokes_pending_ops_and_shrinks_barrier() {
+        use faultsim::FaultSchedule;
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&out);
+        let faults = FaultSchedule::kill(1, SimDuration::from_micros(100));
+        run_world(cfg(1, 2).faults(faults), move |ctx| {
+            let m = ctx.machine();
+            if ctx.rank() == 0 {
+                // Receive from rank 1 that will never be satisfied: rank 1
+                // dies at t=100us with the recv still pending.
+                let buf = m.alloc_host_untimed(0, 0, 1024);
+                let r = ctx.irecv(&buf, 0, 1024, 1, 7);
+                ctx.wait(&r);
+                o.lock().push(("revoked", r.is_revoked()));
+                assert!(!ctx.is_alive(1));
+                assert_eq!(ctx.alive_ranks(), vec![0]);
+                assert_eq!(ctx.failure_epoch(), 1);
+                // Post-kill ops against the dead rank revoke immediately.
+                let r2 = ctx.isend(&buf, 0, 1024, 1, 8);
+                o.lock().push(("posted-dead", r2.is_revoked()));
+                // The shrunken barrier releases with only rank 0 arriving.
+                ctx.barrier();
+                o.lock().push(("past-barrier", true));
+            } else {
+                // Rank 1 parks on a message nobody sends; its death revokes
+                // the recv so the coroutine unwinds instead of deadlocking.
+                let buf = m.alloc_host_untimed(0, 1, 1024);
+                let r = ctx.irecv(&buf, 0, 1024, 0, 9);
+                ctx.wait(&r);
+            }
+        });
+        let v = out.lock().clone();
+        assert_eq!(
+            v,
+            vec![
+                ("revoked", true),
+                ("posted-dead", true),
+                ("past-barrier", true)
+            ]
+        );
+    }
+
+    #[test]
+    fn respawn_rejoins_and_rehandshakes_channels() {
+        use faultsim::FaultSchedule;
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&out);
+        let faults = FaultSchedule::kill_respawn(
+            1,
+            SimDuration::from_micros(100),
+            SimDuration::from_micros(300),
+        );
+        run_world(cfg(1, 2).faults(faults).mpi_persistent(true), move |ctx| {
+            let m = ctx.machine();
+            let bytes = 4096u64;
+            if ctx.rank() == 0 {
+                let buf = m.alloc_host_untimed(0, 0, bytes);
+                let ch = ctx.send_init(&buf, 0, bytes, 1, 5);
+                // Round 0 lands before the kill.
+                let r0 = ctx.start(&ch);
+                ctx.wait(&r0.all);
+                o.lock().push(("round0-revoked", r0.all.is_revoked()));
+                // Step into the death window, wait it out, then observe
+                // the revoked handle: starting it resolves immediately.
+                ctx.sim().delay(SimDuration::from_micros(200));
+                ctx.await_all_alive();
+                o.lock().push(("handle-revoked", ctx.channel_revoked(&ch)));
+                let dead_round = ctx.start(&ch);
+                ctx.wait(&dead_round.all);
+                o.lock().push(("dead-start", dead_round.all.is_revoked()));
+                // Re-handshake: fresh channel under the same key works.
+                let ch2 = ctx.send_init(&buf, 0, bytes, 1, 5);
+                let r1 = ctx.start(&ch2);
+                ctx.wait(&r1.all);
+                o.lock().push(("round1-revoked", r1.all.is_revoked()));
+            } else {
+                let buf = m.alloc_host_untimed(0, 1, bytes);
+                let ch = ctx.recv_init(&buf, 0, bytes, 0, 5);
+                let r0 = ctx.start(&ch);
+                ctx.wait(&r0.all);
+                // Simulated death window: the coroutine idles past it,
+                // then rejoins with a fresh channel.
+                ctx.sim().delay(SimDuration::from_micros(200));
+                ctx.await_all_alive();
+                assert_eq!(ctx.failure_epoch(), 2);
+                let ch2 = ctx.recv_init(&buf, 0, bytes, 0, 5);
+                let r1 = ctx.start(&ch2);
+                ctx.wait(&r1.all);
+            }
+        });
+        let v = out.lock().clone();
+        assert_eq!(
+            v,
+            vec![
+                ("round0-revoked", false),
+                ("handle-revoked", true),
+                ("dead-start", true),
+                ("round1-revoked", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn await_respawn_wakes_at_respawn_time() {
+        use faultsim::FaultSchedule;
+        let t = Arc::new(Mutex::new(0.0));
+        let tt = Arc::clone(&t);
+        let faults = FaultSchedule::kill_respawn(
+            1,
+            SimDuration::from_micros(100),
+            SimDuration::from_micros(400),
+        );
+        run_world(cfg(1, 2).faults(faults), move |ctx| {
+            if ctx.rank() == 0 {
+                ctx.sim().delay(SimDuration::from_micros(200));
+                assert!(!ctx.is_alive(1));
+                ctx.await_respawn(1);
+                *tt.lock() = ctx.wtime();
+                assert!(ctx.is_alive(1));
+                // Already-alive waits return immediately.
+                ctx.await_respawn(1);
+                ctx.await_all_alive();
+            }
+        });
+        let secs = *t.lock();
+        assert!(
+            (secs - 500e-6).abs() < 1e-9,
+            "respawn waiter wakes at kill+down_for = 500us: {secs}"
+        );
+    }
+
+    #[test]
+    fn kill_respawn_deterministic_across_runs() {
+        use faultsim::FaultSchedule;
+        let run = || {
+            let faults = FaultSchedule::kill_respawn(
+                3,
+                SimDuration::from_micros(50),
+                SimDuration::from_micros(200),
+            );
+            run_world(cfg(1, 6).faults(faults), move |ctx| {
+                let m = ctx.machine();
+                let bytes = 100_000u64;
+                let n = ctx.size();
+                let me = ctx.rank();
+                let sbuf = m.alloc_host_untimed(ctx.node(), 0, bytes);
+                let rbuf = m.alloc_host_untimed(ctx.node(), 0, bytes * n as u64);
+                let _ = n;
+                // Fault-tolerant round structure: the barrier keeps even a
+                // dead rank's coroutine in lockstep (it parks on the same
+                // release the survivors get), and each round exchanges only
+                // among the ranks alive at the release instant.
+                for round in 0..4u64 {
+                    ctx.barrier();
+                    let alive = ctx.alive_ranks();
+                    if !alive.contains(&me) {
+                        continue; // dead this round: skip the exchange
+                    }
+                    let mut reqs = Vec::new();
+                    for &peer in &alive {
+                        if peer == me {
+                            continue;
+                        }
+                        let tag = round * 100;
+                        reqs.push(ctx.isend(&sbuf, 0, bytes, peer, tag + me as u64));
+                        reqs.push(ctx.irecv(
+                            &rbuf,
+                            peer as u64 * bytes,
+                            bytes,
+                            peer,
+                            tag + peer as u64,
+                        ));
+                    }
+                    ctx.wait_all(&reqs);
+                }
+            })
+            .elapsed
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

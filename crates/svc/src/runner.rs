@@ -24,7 +24,7 @@ use mpisim::{run_world, WorldConfig};
 use parking_lot::Mutex;
 use stencil_core::{DomainBuilder, Method, Neighborhood, Placement};
 
-use crate::spec::JobSpec;
+use crate::spec::{FaultScenario, JobSpec};
 
 /// Panic payload used to unwind a world whose job was cancelled (timeout
 /// or explicit cancel). The service classifies unwinds carrying this
@@ -81,9 +81,29 @@ pub fn execute_with(spec: &JobSpec, hooks: RunHooks) -> RunOutcome {
     let plan_out: Arc<Mutex<String>> = Arc::new(Mutex::new(String::new()));
     let t2 = Arc::clone(&times);
     let p2 = Arc::clone(&plan_out);
-    let faults = hooks
-        .fault_override
-        .unwrap_or_else(|| spec.faults.schedule());
+    // Rank kill/respawn scenarios cannot be installed at world start: the
+    // kill could land mid-build (empirical probes, the IPC handshake),
+    // where the domain has no recovery protocol. Defer the whole schedule
+    // to a quiet point inside the rank program instead — the measured
+    // iterations then run against the re-handshaked, post-respawn world.
+    // Fault overrides (bench-aimed schedules) bypass the deferral.
+    let spec_faults = spec.faults;
+    let rank_fault = hooks.fault_override.is_none()
+        && matches!(
+            spec_faults,
+            FaultScenario::KillRespawn { .. } | FaultScenario::OomRespawn { .. }
+        );
+    let kill_at_us = match spec_faults {
+        FaultScenario::KillRespawn { at_us, .. } | FaultScenario::OomRespawn { at_us, .. } => at_us,
+        _ => 0,
+    };
+    let faults = if rank_fault {
+        FaultSchedule::new()
+    } else {
+        hooks
+            .fault_override
+            .unwrap_or_else(|| spec.faults.schedule())
+    };
     // The MPI stack's transport capabilities follow the requested method
     // set: asking for persistent/partitioned rungs implies a stack that
     // provides them. No new wire fields — `methods_bits` already carries it.
@@ -115,9 +135,28 @@ pub fn execute_with(spec: &JobSpec, hooks: RunHooks) -> RunOutcome {
         if let Some(pre) = &preplaced {
             builder = builder.preplaced(Arc::clone(pre));
         }
-        let dom = builder.build(ctx);
+        let mut dom = builder.build(ctx);
         if ctx.rank() == 0 {
             *p2.lock() = dom.plan_summary().to_string();
+        }
+        if rank_fault {
+            let me = ctx.rank();
+            ctx.barrier();
+            if me == 0 {
+                let now = ctx.sim().with_kernel(|k| k.now());
+                ctx.install_faults_at(&spec_faults.schedule(), now);
+            }
+            ctx.barrier();
+            ctx.sim()
+                .delay(detsim::SimDuration::from_micros(kill_at_us + 10));
+            if !ctx.is_alive(me) {
+                dom.abandon_local_state(ctx);
+                ctx.await_respawn(me);
+            } else {
+                ctx.await_all_alive();
+            }
+            ctx.barrier();
+            dom.rejoin_after_respawn(ctx);
         }
         let mut mine = Vec::with_capacity(iters);
         for i in 0..iters {

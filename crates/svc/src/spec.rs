@@ -10,7 +10,7 @@
 //! different PRs — can be compared per workload. The schema is documented
 //! in `docs/SERVICE.md`.
 
-use faultsim::FaultSchedule;
+use faultsim::{FaultSchedule, Scenario};
 use stencil_core::{Methods, PlacementStrategy};
 use topo::presets::{dgx_cluster, fat_cluster, pcie_workstation_cluster};
 use topo::summit::summit_cluster;
@@ -152,6 +152,10 @@ impl ClusterPreset {
 /// A named, declarative fault scenario — the JSON-able face of the
 /// `faultsim` scenario constructors. All times are virtual microseconds
 /// from the start of the run.
+///
+/// Wire names come from the [`faultsim::Scenario`] registry (via
+/// [`FaultScenario::scenario`]), so the strings a spec carries are exactly
+/// the strings the `chaos` bench CLI accepts.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultScenario {
     /// No faults: the run is bit-identical to one without fault injection.
@@ -210,9 +214,49 @@ pub enum FaultScenario {
         /// Virtual µs between the faults.
         spacing_us: u64,
     },
+    /// `FaultSchedule::kill_respawn` — rank `rank` dies at `at_us` and
+    /// respawns `down_us` later; its channels are revoked, pending
+    /// operations resolve as revoked, and the rejoin re-handshakes.
+    KillRespawn {
+        /// World rank that dies.
+        rank: usize,
+        /// Virtual µs until the kill.
+        at_us: u64,
+        /// Virtual µs the rank stays down before respawning.
+        down_us: u64,
+    },
+    /// `FaultSchedule::oom_respawn` — device `device`'s memory limit
+    /// shrinks to `mem_factor` of nominal at `at_us`, killing `rank`; the
+    /// limit restores and the rank respawns `down_us` later.
+    OomRespawn {
+        /// Global device id that OOMs.
+        device: usize,
+        /// World rank killed by the OOM.
+        rank: usize,
+        /// Virtual µs until the shrink + kill.
+        at_us: u64,
+        /// Virtual µs before the limit restores and the rank respawns.
+        down_us: u64,
+        /// Memory-limit multiplier in (0, 1) while down.
+        mem_factor: f64,
+    },
 }
 
 impl FaultScenario {
+    /// The registry entry this spec variant instantiates — the single
+    /// source of its wire/CLI name.
+    pub fn scenario(&self) -> Scenario {
+        match self {
+            FaultScenario::None => Scenario::None,
+            FaultScenario::FlappingNic { .. } => Scenario::FlappingNic,
+            FaultScenario::StragglerGpu { .. } => Scenario::StragglerGpu,
+            FaultScenario::DegradedTriad { .. } => Scenario::DegradedTriad,
+            FaultScenario::Cascading { .. } => Scenario::Cascading,
+            FaultScenario::KillRespawn { .. } => Scenario::KillRespawn,
+            FaultScenario::OomRespawn { .. } => Scenario::OomRespawn,
+        }
+    }
+
     /// Resolve to an installable schedule.
     pub fn schedule(&self) -> FaultSchedule {
         use detsim::SimDuration;
@@ -266,12 +310,35 @@ impl FaultScenario {
                 SimDuration::from_micros(at_us),
                 SimDuration::from_micros(spacing_us),
             ),
+            FaultScenario::KillRespawn {
+                rank,
+                at_us,
+                down_us,
+            } => FaultSchedule::kill_respawn(
+                rank,
+                SimDuration::from_micros(at_us),
+                SimDuration::from_micros(down_us),
+            ),
+            FaultScenario::OomRespawn {
+                device,
+                rank,
+                at_us,
+                down_us,
+                mem_factor,
+            } => FaultSchedule::oom_respawn(
+                device,
+                rank,
+                SimDuration::from_micros(at_us),
+                SimDuration::from_micros(down_us),
+                mem_factor,
+            ),
         }
     }
 
     fn write_json(&self, out: &mut String) {
+        let name = self.scenario().name();
         match *self {
-            FaultScenario::None => out.push_str("{\"scenario\":\"none\"}"),
+            FaultScenario::None => out.push_str(&format!("{{\"scenario\":\"{name}\"}}")),
             FaultScenario::FlappingNic {
                 node,
                 first_down_us,
@@ -279,7 +346,7 @@ impl FaultScenario {
                 up_us,
                 flaps,
             } => out.push_str(&format!(
-                "{{\"scenario\":\"flapping-nic\",\"node\":{node},\
+                "{{\"scenario\":\"{name}\",\"node\":{node},\
                  \"first_down_us\":{first_down_us},\"down_us\":{down_us},\
                  \"up_us\":{up_us},\"flaps\":{flaps}}}"
             )),
@@ -288,7 +355,7 @@ impl FaultScenario {
                 at_us,
                 speed_factor,
             } => out.push_str(&format!(
-                "{{\"scenario\":\"straggler-gpu\",\"device\":{device},\
+                "{{\"scenario\":\"{name}\",\"device\":{device},\
                  \"at_us\":{at_us},\"speed_factor\":{}}}",
                 json::fmt_f64(speed_factor)
             )),
@@ -299,7 +366,7 @@ impl FaultScenario {
                 at_us,
                 bandwidth_factor,
             } => out.push_str(&format!(
-                "{{\"scenario\":\"degraded-triad\",\"node\":{node},\"a\":{a},\
+                "{{\"scenario\":\"{name}\",\"node\":{node},\"a\":{a},\
                  \"b\":{b},\"at_us\":{at_us},\"bandwidth_factor\":{}}}",
                 json::fmt_f64(bandwidth_factor)
             )),
@@ -311,8 +378,27 @@ impl FaultScenario {
                 at_us,
                 spacing_us,
             } => out.push_str(&format!(
-                "{{\"scenario\":\"cascading\",\"node\":{node},\"a\":{a},\"b\":{b},\
+                "{{\"scenario\":\"{name}\",\"node\":{node},\"a\":{a},\"b\":{b},\
                  \"device\":{device},\"at_us\":{at_us},\"spacing_us\":{spacing_us}}}"
+            )),
+            FaultScenario::KillRespawn {
+                rank,
+                at_us,
+                down_us,
+            } => out.push_str(&format!(
+                "{{\"scenario\":\"{name}\",\"rank\":{rank},\
+                 \"at_us\":{at_us},\"down_us\":{down_us}}}"
+            )),
+            FaultScenario::OomRespawn {
+                device,
+                rank,
+                at_us,
+                down_us,
+                mem_factor,
+            } => out.push_str(&format!(
+                "{{\"scenario\":\"{name}\",\"device\":{device},\"rank\":{rank},\
+                 \"at_us\":{at_us},\"down_us\":{down_us},\"mem_factor\":{}}}",
+                json::fmt_f64(mem_factor)
             )),
         }
     }
@@ -332,28 +418,41 @@ impl FaultScenario {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("faults.{k} missing for scenario {scenario}"))
         };
-        Ok(match scenario {
-            "none" => FaultScenario::None,
-            "flapping-nic" => FaultScenario::FlappingNic {
+        let registered = Scenario::parse(scenario).ok_or_else(|| {
+            let known: Vec<&str> = Scenario::ALL.iter().map(|s| s.name()).collect();
+            format!(
+                "unknown fault scenario {scenario} (known: {})",
+                known.join(", ")
+            )
+        })?;
+        Ok(match registered {
+            Scenario::None => FaultScenario::None,
+            Scenario::FlappingNic => FaultScenario::FlappingNic {
                 node: u("node")? as usize,
                 first_down_us: u("first_down_us")?,
                 down_us: u("down_us")?,
                 up_us: u("up_us")?,
                 flaps: u("flaps")? as usize,
             },
-            "straggler-gpu" => FaultScenario::StragglerGpu {
+            Scenario::StragglerGpu => FaultScenario::StragglerGpu {
                 device: u("device")? as usize,
                 at_us: u("at_us")?,
                 speed_factor: f("speed_factor")?,
             },
-            "degraded-triad" => FaultScenario::DegradedTriad {
+            Scenario::DegradedFatNode => {
+                return Err(format!(
+                    "scenario {scenario} is a bench preset; express it as \
+                     degraded-triad on a fat cluster preset"
+                ))
+            }
+            Scenario::DegradedTriad => FaultScenario::DegradedTriad {
                 node: u("node")? as usize,
                 a: u("a")? as usize,
                 b: u("b")? as usize,
                 at_us: u("at_us")?,
                 bandwidth_factor: f("bandwidth_factor")?,
             },
-            "cascading" => FaultScenario::Cascading {
+            Scenario::Cascading => FaultScenario::Cascading {
                 node: u("node")? as usize,
                 a: u("a")? as usize,
                 b: u("b")? as usize,
@@ -361,7 +460,18 @@ impl FaultScenario {
                 at_us: u("at_us")?,
                 spacing_us: u("spacing_us")?,
             },
-            other => return Err(format!("unknown fault scenario {other}")),
+            Scenario::KillRespawn => FaultScenario::KillRespawn {
+                rank: u("rank")? as usize,
+                at_us: u("at_us")?,
+                down_us: u("down_us")?,
+            },
+            Scenario::OomRespawn => FaultScenario::OomRespawn {
+                device: u("device")? as usize,
+                rank: u("rank")? as usize,
+                at_us: u("at_us")?,
+                down_us: u("down_us")?,
+                mem_factor: f("mem_factor")?,
+            },
         })
     }
 }
@@ -745,11 +855,95 @@ mod tests {
                 at_us: 100,
                 spacing_us: 300,
             }),
+            JobSpec::new("t", ClusterPreset::Summit { nodes: 2 }, 6, [96, 96, 96]).faults(
+                FaultScenario::KillRespawn {
+                    rank: 4,
+                    at_us: 50,
+                    down_us: 300,
+                },
+            ),
+            JobSpec::new("t", ClusterPreset::Summit { nodes: 2 }, 6, [96, 96, 96]).faults(
+                FaultScenario::OomRespawn {
+                    device: 8,
+                    rank: 4,
+                    at_us: 50,
+                    down_us: 300,
+                    mem_factor: 0.05,
+                },
+            ),
         ] {
             let json = spec.to_json();
             let back = JobSpec::from_json(&json).unwrap_or_else(|e| panic!("{e}: {json}"));
             assert_eq!(back, spec, "{json}");
         }
+    }
+
+    #[test]
+    fn wire_names_come_from_the_faultsim_registry() {
+        // The name a spec serializes under must be the registry's; parsing
+        // a registered name either yields the matching variant or a
+        // deliberate rejection — never "unknown".
+        let variants = [
+            FaultScenario::None,
+            FaultScenario::FlappingNic {
+                node: 0,
+                first_down_us: 1,
+                down_us: 2,
+                up_us: 3,
+                flaps: 1,
+            },
+            FaultScenario::StragglerGpu {
+                device: 0,
+                at_us: 0,
+                speed_factor: 0.5,
+            },
+            FaultScenario::DegradedTriad {
+                node: 0,
+                a: 0,
+                b: 1,
+                at_us: 0,
+                bandwidth_factor: 0.5,
+            },
+            FaultScenario::Cascading {
+                node: 0,
+                a: 0,
+                b: 1,
+                device: 2,
+                at_us: 0,
+                spacing_us: 1,
+            },
+            FaultScenario::KillRespawn {
+                rank: 0,
+                at_us: 0,
+                down_us: 1,
+            },
+            FaultScenario::OomRespawn {
+                device: 0,
+                rank: 0,
+                at_us: 0,
+                down_us: 1,
+                mem_factor: 0.5,
+            },
+        ];
+        for v in variants {
+            let mut out = String::new();
+            v.write_json(&mut out);
+            let name = v.scenario().name();
+            assert!(
+                out.contains(&format!("\"scenario\":\"{name}\"")),
+                "{out} should carry registry name {name}"
+            );
+            assert_eq!(Scenario::parse(name), Some(v.scenario()));
+        }
+        // The bench-only fat-node preset is registered but deliberately
+        // not a wire scenario.
+        let err =
+            FaultScenario::from_json(&json::parse("{\"scenario\":\"degraded-fat-node\"}").unwrap())
+                .unwrap_err();
+        assert!(err.contains("bench preset"), "{err}");
+        let err =
+            FaultScenario::from_json(&json::parse("{\"scenario\":\"nope\"}").unwrap()).unwrap_err();
+        assert!(err.contains("unknown fault scenario"), "{err}");
     }
 
     #[test]

@@ -145,6 +145,43 @@ fn partitioned_transport_deterministic_across_worker_counts() {
 }
 
 #[test]
+fn kill_respawn_deterministic_across_worker_counts() {
+    // The full rank-failure recovery — kill, channel revocation, respawn,
+    // re-handshake, measured exchanges on the rejoined world — must be a
+    // function of virtual time only: bit-identical whether the job runs
+    // on one worker or races seven neighbors.
+    let spec = JobSpec::new("kr", ClusterPreset::Summit { nodes: 2 }, 6, [96, 96, 96])
+        .faults(FaultScenario::KillRespawn {
+            rank: 4,
+            at_us: 50,
+            down_us: 300,
+        })
+        .iters(3)
+        .collect_metrics(true);
+    let run = |workers: usize| {
+        let service = Service::new(ServiceConfig {
+            workers,
+            queue_capacity: 16,
+            default_timeout_ms: None,
+        });
+        let mut handles = Vec::new();
+        for i in 0..(workers.saturating_sub(1)) {
+            handles.push(service.submit(neighbors()[i % 4].clone()).unwrap());
+        }
+        let r = service.submit(spec.clone()).expect("admitted").wait();
+        for h in handles {
+            h.wait();
+        }
+        service.shutdown();
+        r
+    };
+    let one = run(1);
+    assert_eq!(one.status, svc::JobStatus::Completed, "{:?}", one.error);
+    let eight = run(8);
+    assert_same_bits(&one, &eight, "kill-respawn probe, 1 vs 8 workers");
+}
+
+#[test]
 fn digest_groups_the_same_workload_across_tenants() {
     // Tenant and weight are scheduling attributes, not workload: the same
     // geometry submitted by two tenants lands in one digest group and

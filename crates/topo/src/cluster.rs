@@ -115,6 +115,31 @@ impl SwitchHierarchy {
         self.root_distance
     }
 
+    /// Number of configured levels below the root.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Nodes per group at `level` (0 = leaf switches).
+    pub fn group_size(&self, level: usize) -> usize {
+        self.levels[level].0
+    }
+
+    /// Which level-`level` group (switch) `node` sits under.
+    pub fn group_of(&self, level: usize, node: usize) -> usize {
+        debug_assert!(node < self.num_nodes);
+        node / self.levels[level].0
+    }
+
+    /// The contiguous node range behind switch `group` of `level`, clamped
+    /// to the cluster size — the blast radius of a fault on that switch
+    /// (see `faultsim::FaultTarget::Switch`).
+    pub fn group_nodes(&self, level: usize, group: usize) -> std::ops::Range<usize> {
+        let size = self.levels[level].0;
+        let first = group * size;
+        first..((first + size).min(self.num_nodes))
+    }
+
     /// Materialize the dense distance matrix — only sensible for small
     /// node counts (tests, the exhaustive rung); the mapper itself uses
     /// [`SwitchHierarchy::distance`] directly.
@@ -451,5 +476,24 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn switch_hierarchy_rejects_unordered_levels() {
         let _ = SwitchHierarchy::new(10, &[(6, 1.0), (4, 1.0)], 1.0);
+    }
+
+    #[test]
+    fn switch_hierarchy_groups_cover_contiguous_ranges() {
+        let h = SwitchHierarchy::new(100, &[(4, 100.0), (20, 50.0)], 10.0);
+        assert_eq!(h.num_levels(), 2);
+        assert_eq!(h.group_size(0), 4);
+        assert_eq!(h.group_of(0, 7), 1);
+        assert_eq!(h.group_of(1, 7), 0);
+        assert_eq!(h.group_nodes(0, 1), 4..8);
+        assert_eq!(h.group_nodes(1, 4), 80..100);
+        // Last group clamps to the cluster size.
+        let h2 = SwitchHierarchy::summit_fat_tree(20);
+        assert_eq!(h2.group_nodes(0, 1), 18..20);
+        // Every node is in the group it maps to.
+        for node in 0..20 {
+            let g = h2.group_of(0, node);
+            assert!(h2.group_nodes(0, g).contains(&node));
+        }
     }
 }
